@@ -1,0 +1,327 @@
+// Benchmarks that regenerate the paper's evaluation artifacts — one bench
+// target per table and figure (see DESIGN.md §3 for the experiment index)
+// plus kernel micro-benchmarks. The table/figure benches run the experiment
+// harness at tiny scale so `go test -bench=.` finishes in minutes;
+// `go run ./cmd/seneca-bench -scale fast|paper` produces the larger runs.
+package seneca_test
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"seneca"
+	"seneca/internal/experiments"
+	"seneca/internal/nn"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+	"seneca/internal/vart"
+	"seneca/internal/xmodel"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = seneca.NewExperiments(seneca.TinyScale(), io.Discard)
+	})
+	return benchEnv
+}
+
+// BenchmarkTable1_OrganFrequencies regenerates Table I: the labeled-pixel
+// organ distribution of the dataset.
+func BenchmarkTable1_OrganFrequencies(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Table1(io.Discard)
+	}
+}
+
+// BenchmarkTable2_ModelZoo regenerates Table II: building all five model
+// configurations and counting parameters.
+func BenchmarkTable2_ModelZoo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard)
+	}
+}
+
+// BenchmarkTable3_CalibrationSampling regenerates Table III: random vs
+// manual calibration-set construction.
+func BenchmarkTable3_CalibrationSampling(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Table3(io.Discard)
+	}
+}
+
+// BenchmarkTable4_FullComparison regenerates Table IV's performance half:
+// GPU-FP32 vs FPGA-INT8 (4 threads) FPS/W/EE for all five configurations
+// at full 256×256 geometry, µ±σ over repeated runs. (The accuracy half
+// trains models; run `seneca-bench -scale fast -experiments table4`.)
+func BenchmarkTable4_FullComparison(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table4(io.Discard, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5_BestModel regenerates Table V: the 1M best-model deep
+// dive (training included on first iteration, cached afterwards).
+func BenchmarkTable5_BestModel(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table5(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3_EnergyEfficiency regenerates Figure 3: EE of every model
+// on the GPU and on the ZCU104 at 1/2/4 threads.
+func BenchmarkFigure3_EnergyEfficiency(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4_DSCxEE regenerates Figure 4: Dice·EnergyEfficiency
+// (Eq. 7) per model at 4 threads.
+func BenchmarkFigure4_DSCxEE(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5_Qualitative regenerates Figure 5: the qualitative
+// input/GT/INT8/FP32 panels.
+func BenchmarkFigure5_Qualitative(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure5(io.Discard, "1M", "", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6_OrganBoxplots regenerates Figure 6: per-organ Dice
+// boxplots of the deployed model.
+func BenchmarkFigure6_OrganBoxplots(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Figure6(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ThreadScaling regenerates the Section IV-B thread sweep
+// (1..8 threads: saturation at 4, power-only cost beyond).
+func BenchmarkAblation_ThreadScaling(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationThreadScaling(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_QuantModes regenerates the Section III-D comparison of
+// PTQ, FFQ and QAT (three trainings; cached env, heavy first iteration).
+func BenchmarkAblation_QuantModes(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationQuantModes(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_LossFunctions regenerates the Section III-C loss study
+// (four trainings per iteration).
+func BenchmarkAblation_LossFunctions(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationLosses(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Pruning regenerates the future-work pruning sweep
+// (Section V): structured filter pruning vs throughput/EE/DSC.
+func BenchmarkAblation_Pruning(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AblationPruning(io.Discard, "1M", []float64{0.25, 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPUFamilySweep runs the accelerator design-space exploration
+// (B512…B4096) on the best model.
+func BenchmarkDPUFamilySweep(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.DPUFamilySweep(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaseline3D regenerates the 2D-vs-3D comparison behind Table V's
+// CT-ORG column: trains the volumetric baseline and evaluates both.
+func BenchmarkBaseline3D(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Baseline3D(io.Discard, "1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Kernel micro-benchmarks ------------------------------------------
+
+func randomImage(size int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	img := tensor.New(1, size, size)
+	for i := range img.Data {
+		img.Data[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	return img
+}
+
+func benchProgram(b *testing.B, name string, size int) *xmodel.Program {
+	b.Helper()
+	cfg, err := unet.ConfigByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for (1 << (cfg.Depth + 1)) > size {
+		cfg.Depth--
+	}
+	m := unet.New(cfg)
+	g := m.Export(size, size)
+	q, err := quant.QuantizeShapeOnly(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := xmodel.Compile(q, name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkINT8Inference measures the functional INT8 executor (the
+// bit-accurate path behind every accuracy number).
+func BenchmarkINT8Inference(b *testing.B) {
+	prog := benchProgram(b, "1M", 64)
+	img := randomImage(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFP32Forward measures the FP32 training-forward pass.
+func BenchmarkFP32Forward(b *testing.B) {
+	cfg, _ := unet.ConfigByName("1M")
+	cfg.Depth = 3
+	m := unet.New(cfg)
+	x := tensor.New(1, 1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+// BenchmarkTrainingStep measures one full forward+backward+Adam step.
+func BenchmarkTrainingStep(b *testing.B) {
+	cfg, _ := unet.ConfigByName("1M")
+	cfg.Depth = 3
+	m := unet.New(cfg)
+	x := randomImage(64, 2).Reshape(1, 1, 64, 64)
+	labels := make([]uint8, 64*64)
+	for i := range labels {
+		labels[i] = uint8(i % 6)
+	}
+	weights := make([]float32, 6)
+	for i := range weights {
+		weights[i] = 1
+	}
+	loss := benchLoss(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.Forward(x, true)
+		loss.Forward(p, labels)
+		m.Backward(loss.Backward())
+		for _, prm := range m.Params() {
+			prm.ZeroGrad()
+		}
+	}
+}
+
+func benchLoss(weights []float32) nn.Loss { return nn.NewFocalTversky(weights) }
+
+// BenchmarkDPUFrameModel measures the analytic timing model itself.
+func BenchmarkDPUFrameModel(b *testing.B) {
+	prog := benchProgram(b, "1M", 256)
+	dev := seneca.NewZCU104()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.TimeFrame(prog)
+	}
+}
+
+// BenchmarkVARTSimulation measures the discrete-event throughput simulator
+// (2000 frames, 4 threads).
+func BenchmarkVARTSimulation(b *testing.B) {
+	prog := benchProgram(b, "1M", 256)
+	runner := vart.New(seneca.NewZCU104(), prog, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.SimulateThroughput(2000, 1)
+	}
+}
+
+// BenchmarkXmodelSerialize measures compile artifact serialization.
+func BenchmarkXmodelSerialize(b *testing.B) {
+	prog := benchProgram(b, "1M", 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prog.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

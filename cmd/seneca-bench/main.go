@@ -1,0 +1,141 @@
+// Command seneca-bench regenerates the paper's evaluation artifacts:
+// Tables I–V, Figures 3–6 and the ablations of Sections III-C/III-D/IV-B.
+//
+// Usage:
+//
+//	seneca-bench -scale fast -experiments all
+//	seneca-bench -scale paper -experiments table4,figure3 -out results/
+//
+// Fast scale trains reduced-resolution models in minutes; paper scale
+// replicates the full Section IV geometry (hours on CPU). Throughput and
+// power numbers are scale-exact in both modes (timing always runs the full
+// 256×256 Table II programs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"seneca/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seneca-bench: ")
+
+	scaleName := flag.String("scale", "fast", "experiment scale: tiny, fast or paper")
+	list := flag.String("experiments", "all", "comma-separated: table1,table2,table3,table4,table5,figure3,figure4,figure5,figure6,quantmodes,threads,losses,pruning,baseline3d,dpufamily,surface or all")
+	best := flag.String("best", "1M", "best-model configuration for Table V / Figures 5–6")
+	outDir := flag.String("out", "", "directory for Figure 5 PPM panels (empty: skip files)")
+	t4acc := flag.Bool("table4accuracy", true, "train all five configurations for Table IV's DSC columns (expensive); false reports the timing half only")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = experiments.TinyScale()
+	case "fast":
+		scale = experiments.FastScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*list, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	on := func(name string) bool { return all || want[name] }
+
+	fmt.Printf("SENECA experiment harness — scale %q\n\n", scale.Name)
+	env := experiments.NewEnv(scale, os.Stderr)
+	w := os.Stdout
+
+	fail := func(name string, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	if on("table1") {
+		env.Table1(w)
+		fmt.Fprintln(w)
+	}
+	if on("table2") {
+		experiments.Table2(w)
+		fmt.Fprintln(w)
+	}
+	if on("table3") {
+		env.Table3(w)
+		fmt.Fprintln(w)
+	}
+	if on("table4") {
+		_, err := env.Table4(w, *t4acc)
+		fail("table4", err)
+		fmt.Fprintln(w)
+	}
+	if on("figure3") {
+		_, err := env.Figure3(w)
+		fail("figure3", err)
+		fmt.Fprintln(w)
+	}
+	if on("figure4") {
+		_, err := env.Figure4(w)
+		fail("figure4", err)
+		fmt.Fprintln(w)
+	}
+	if on("table5") {
+		_, err := env.Table5(w, *best)
+		fail("table5", err)
+		fmt.Fprintln(w)
+	}
+	if on("figure5") {
+		_, err := env.Figure5(w, *best, *outDir, 3)
+		fail("figure5", err)
+		fmt.Fprintln(w)
+	}
+	if on("figure6") {
+		_, err := env.Figure6(w, *best)
+		fail("figure6", err)
+		fmt.Fprintln(w)
+	}
+	if on("quantmodes") {
+		_, err := env.AblationQuantModes(w, *best)
+		fail("quantmodes", err)
+		fmt.Fprintln(w)
+	}
+	if on("threads") {
+		_, err := env.AblationThreadScaling(w, *best)
+		fail("threads", err)
+		fmt.Fprintln(w)
+	}
+	if on("losses") {
+		_, err := env.AblationLosses(w, *best)
+		fail("losses", err)
+		fmt.Fprintln(w)
+	}
+	if on("pruning") {
+		_, err := env.AblationPruning(w, *best, []float64{0.25, 0.4, 0.6})
+		fail("pruning", err)
+		fmt.Fprintln(w)
+	}
+	if on("baseline3d") {
+		_, err := env.Baseline3D(w, *best)
+		fail("baseline3d", err)
+		fmt.Fprintln(w)
+	}
+	if on("dpufamily") {
+		_, err := env.DPUFamilySweep(w, *best)
+		fail("dpufamily", err)
+		fmt.Fprintln(w)
+	}
+	if on("surface") {
+		_, err := env.SurfaceQuality(w, *best)
+		fail("surface", err)
+		fmt.Fprintln(w)
+	}
+}

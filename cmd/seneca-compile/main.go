@@ -1,0 +1,71 @@
+// Command seneca-compile is the VAI_C analog: it quantizes a trained FP32
+// checkpoint to INT8 with a calibration set (Figure 1-D) and compiles the
+// result into a DPU xmodel (Figure 1-E).
+//
+// Usage:
+//
+//	seneca-compile -checkpoint 1m.model -data ./data -size 64 \
+//	  -calib manual -calib-size 500 -mode ptq -out 1m.xmodel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"seneca/internal/core"
+	"seneca/internal/ctorg"
+	"seneca/internal/phantom"
+	"seneca/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seneca-compile: ")
+
+	checkpoint := flag.String("checkpoint", "seneca.model", "trained FP32 checkpoint")
+	dataDir := flag.String("data", "", "NIfTI cohort directory (empty: generate in memory)")
+	size := flag.Int("size", 64, "network input size (must match training)")
+	calibMode := flag.String("calib", "manual", "calibration sampling: random or manual (Table III)")
+	calibSize := flag.Int("calib-size", 500, "calibration set size")
+	mode := flag.String("mode", "ptq", "quantization procedure: ptq, ffq")
+	patients := flag.Int("patients", 10, "patients to generate when -data is empty")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("out", "seneca.xmodel", "compiled xmodel output path")
+	flag.Parse()
+
+	model, err := unet.LoadFile(*checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var vols []*phantom.Volume
+	if *dataDir != "" {
+		vols, err = phantom.LoadDataset(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		vols = phantom.GenerateDataset(*patients, phantom.Options{Size: 2 * *size, Slices: 16, Seed: *seed, NoiseSigma: 12})
+	}
+	ds := ctorg.Build(vols, *size)
+
+	cfg := core.DefaultPipelineConfig(model.Cfg)
+	cfg.CalibMode = core.CalibrationMode(*calibMode)
+	cfg.CalibSize = *calibSize
+	cfg.QuantMode = core.QuantMode(*mode)
+	cfg.Seed = *seed
+
+	art, err := core.Deploy(model, ds, cfg, core.TrainReport{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := art.Program.Stats()
+	fmt.Printf("compiled %s: %d instructions, %.1f MMACs/frame, %.2f MiB weights\n",
+		model.Cfg.Name, stats.Instructions, float64(stats.MACs)/1e6, float64(stats.WeightBytes)/(1<<20))
+	fmt.Printf("input scale factor: 2^%d (stored in the xmodel, applied by the runtime)\n", art.QGraph.InputFP)
+	if err := art.Program.WriteFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xmodel written to %s\n", *out)
+}

@@ -1,0 +1,81 @@
+// Command seneca-run deploys a compiled xmodel on the simulated ZCU104
+// (dual-core DPUCZDX8G-B4096) and runs multithreaded inference over a test
+// set, reporting throughput, power, energy efficiency (Eq. 3) and — when
+// ground truth is available — per-organ Dice scores.
+//
+// Usage:
+//
+//	seneca-run -xmodel 1m.xmodel -data ./data -size 64 -threads 4 -frames 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"seneca/internal/core"
+	"seneca/internal/ctorg"
+	"seneca/internal/dpu"
+	"seneca/internal/phantom"
+	"seneca/internal/vart"
+	"seneca/internal/xmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seneca-run: ")
+
+	xmodelPath := flag.String("xmodel", "seneca.xmodel", "compiled xmodel")
+	dataDir := flag.String("data", "", "NIfTI cohort directory (empty: generate in memory)")
+	size := flag.Int("size", 64, "network input size (must match the xmodel)")
+	threads := flag.Int("threads", 4, "runtime threads (paper deploys 4)")
+	frames := flag.Int("frames", 2000, "frames per throughput run (paper: 2000)")
+	runs := flag.Int("runs", 10, "repeated runs for µ±σ (paper: 10)")
+	patients := flag.Int("patients", 10, "patients to generate when -data is empty")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	prog, err := xmodel.ReadFile(*xmodelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var vols []*phantom.Volume
+	if *dataDir != "" {
+		vols, err = phantom.LoadDataset(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		vols = phantom.GenerateDataset(*patients, phantom.Options{Size: 2 * *size, Slices: 16, Seed: *seed, NoiseSigma: 12})
+	}
+	ds := ctorg.Build(vols, *size)
+
+	dev := dpu.New(dpu.ZCU104B4096())
+	runner := vart.New(dev, prog, *threads)
+
+	// Accuracy: bit-accurate INT8 over the whole dataset.
+	conf, err := core.EvaluateINT8(prog, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy over %d slices:\n", ds.Len())
+	fmt.Printf("  global DSC %.4f  TPR %.4f  TNR %.4f\n",
+		conf.GlobalDice(), conf.GlobalRecall(), conf.GlobalSpecificity())
+	for c := 1; c < ctorg.NumClasses; c++ {
+		fmt.Printf("  %-10s DSC %.4f\n", ctorg.ClassNames[c], conf.Dice(c))
+	}
+
+	// Throughput: simulated ZCU104 runs.
+	fmt.Printf("\nthroughput (%s, %d threads, %d frames × %d runs):\n",
+		dev.Cfg.Name, *threads, *frames, *runs)
+	var fps, watts, ee float64
+	for r := 0; r < *runs; r++ {
+		res := runner.SimulateThroughput(*frames, *seed+int64(r)+1)
+		fps += res.FPS()
+		watts += res.Watts()
+		ee += res.EnergyEfficiency()
+	}
+	n := float64(*runs)
+	fmt.Printf("  %.1f FPS, %.2f W, %.2f FPS/W (frame latency %v/core)\n",
+		fps/n, watts/n, ee/n, dev.TimeFrame(prog).Latency)
+}

@@ -1,0 +1,64 @@
+// Modelsweep: the design-space exploration behind paper Figures 3–4 and
+// Table IV — all five Table II configurations, timed at full 256×256
+// resolution on the simulated ZCU104 (1/2/4/8 runtime threads) and on the
+// GPU baseline. No training involved: instruction timing depends only on
+// layer shapes, so the sweep runs in seconds.
+//
+//	go run ./examples/modelsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seneca"
+	"seneca/internal/quant"
+	"seneca/internal/xmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev := seneca.NewZCU104()
+	gpu := seneca.NewRTX2060Mobile()
+	const frames = 2000
+
+	fmt.Println("SENECA design-space sweep (256×256 inputs, paper geometry)")
+	fmt.Printf("%-5s %8s | %8s %8s %8s %8s | %8s %8s | %8s\n",
+		"model", "GPU FPS", "1t FPS", "2t FPS", "4t FPS", "8t FPS", "GPU EE", "4t EE", "speedup")
+
+	for _, cfg := range seneca.TableII() {
+		m := seneca.NewModel(cfg)
+		g := m.Export(256, 256)
+		q, err := quant.QuantizeShapeOnly(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := xmodel.Compile(q, cfg.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		gres := gpu.SimulateRun(g, frames, 0)
+		runner := seneca.NewRunner(dev, prog, 1)
+		var fps [4]float64
+		var ee4 float64
+		for i, t := range []int{1, 2, 4, 8} {
+			runner.Threads = t
+			r := runner.SimulateThroughput(frames, 0)
+			fps[i] = r.FPS()
+			if t == 4 {
+				ee4 = r.EnergyEfficiency()
+			}
+		}
+		fmt.Printf("%-5s %8.1f | %8.1f %8.1f %8.1f %8.1f | %8.2f %8.2f | %7.2f×\n",
+			cfg.Name, gres.FPS(), fps[0], fps[1], fps[2], fps[3],
+			gres.EnergyEfficiency(), ee4, fps[2]/gres.FPS())
+	}
+	fmt.Println("\nObservations (cf. paper Section IV-B):")
+	fmt.Println("  • every INT8/FPGA configuration beats its GPU counterpart;")
+	fmt.Println("  • throughput saturates at 4 threads (dual-core DPU + host overlap);")
+	fmt.Println("  • smaller models are disproportionally more energy-efficient;")
+	fmt.Println("  • the 6-filter 2M model underperforms the 8-filter 4M on the DPU")
+	fmt.Println("    (channel misalignment against the 8-lane vector granularity).")
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"seneca/internal/ctorg"
+	"seneca/internal/graph"
+	"seneca/internal/quant"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+// CalibrationMode selects how the PTQ calibration set is sampled.
+type CalibrationMode string
+
+// Calibration modes (paper Table III).
+const (
+	// CalibRandom samples slices uniformly; the calibration distribution
+	// mirrors the dataset's (Table III "Random Sampling").
+	CalibRandom CalibrationMode = "random"
+	// CalibManual levels organ frequencies toward the paper's curated
+	// distribution (Table III "Manual Sampling") so small organs survive
+	// quantization.
+	CalibManual CalibrationMode = "manual"
+)
+
+// QuantMode selects the quantization procedure (Section III-D).
+type QuantMode string
+
+// Quantization modes.
+const (
+	QuantPTQ QuantMode = "ptq"
+	QuantFFQ QuantMode = "ffq"
+	QuantQAT QuantMode = "qat" // fake-quant fine-tuning during training
+)
+
+// PipelineConfig assembles the full workflow configuration.
+type PipelineConfig struct {
+	// Model selects the Table II configuration.
+	Model unet.Config
+	// Train controls Figure 1-C.
+	Train TrainConfig
+	// CalibSize is the calibration-set size (paper: 500 slices).
+	CalibSize int
+	// CalibMode selects random or manual sampling.
+	CalibMode CalibrationMode
+	// QuantMode selects PTQ, FFQ or QAT.
+	QuantMode QuantMode
+	// Seed drives calibration sampling.
+	Seed int64
+}
+
+// DefaultPipelineConfig returns the paper's deployed configuration for the
+// given model at the given training scale.
+func DefaultPipelineConfig(model unet.Config) PipelineConfig {
+	return PipelineConfig{
+		Model:     model,
+		Train:     DefaultTrainConfig(),
+		CalibSize: 500,
+		CalibMode: CalibManual,
+		QuantMode: QuantPTQ,
+		Seed:      1,
+	}
+}
+
+// Artifacts collects every product of the workflow: the trained FP32 model,
+// its exported inference graph, the quantized graph and the compiled DPU
+// program.
+type Artifacts struct {
+	Model   *unet.Model
+	Graph   *graph.Graph
+	QGraph  *quant.QGraph
+	Program *xmodel.Program
+	Report  TrainReport
+	// CalibIndices are the training-set slice indices used for calibration.
+	CalibIndices []int
+}
+
+// RunPipeline executes the complete SENECA workflow (Figure 1 A–E) over an
+// already-built dataset: train FP32, build the calibration set, quantize,
+// compile. Deployment and evaluation are separate steps (internal/vart and
+// Evaluate*).
+func RunPipeline(train *ctorg.Dataset, cfg PipelineConfig) (*Artifacts, error) {
+	if cfg.QuantMode == QuantQAT {
+		cfg.Train.QAT = true
+	}
+	model, report, err := Train(cfg.Model, train, cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("core: training: %w", err)
+	}
+	return Deploy(model, train, cfg, report)
+}
+
+// Deploy runs the post-training half of the workflow (Figure 1 D–E) on an
+// already-trained model: calibration sampling, quantization, compilation.
+func Deploy(model *unet.Model, train *ctorg.Dataset, cfg PipelineConfig, report TrainReport) (*Artifacts, error) {
+	g := model.Export(train.Size, train.Size)
+
+	n := cfg.CalibSize
+	if n <= 0 {
+		n = 500
+	}
+	var calibIdx []int
+	switch cfg.CalibMode {
+	case CalibManual, "":
+		calibIdx = ctorg.ManualCalibration(train, n, ctorg.TableIIIManualTargets, cfg.Seed)
+	case CalibRandom:
+		calibIdx = ctorg.RandomCalibration(train, n, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("core: unknown calibration mode %q", cfg.CalibMode)
+	}
+	calibImgs := train.Images(calibIdx)
+
+	var q *quant.QGraph
+	var err error
+	switch cfg.QuantMode {
+	case QuantPTQ, QuantQAT, "":
+		q, err = quant.PTQ(g, calibImgs, quant.Options{})
+	case QuantFFQ:
+		q, err = quant.FFQ(g, calibImgs, quant.Options{}, 2)
+	default:
+		return nil, fmt.Errorf("core: unknown quantization mode %q", cfg.QuantMode)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: quantization: %w", err)
+	}
+
+	prog, err := xmodel.Compile(q, cfg.Model.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: compilation: %w", err)
+	}
+	return &Artifacts{
+		Model:        model,
+		Graph:        g,
+		QGraph:       q,
+		Program:      prog,
+		Report:       report,
+		CalibIndices: calibIdx,
+	}, nil
+}

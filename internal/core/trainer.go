@@ -1,0 +1,198 @@
+// Package core orchestrates the end-to-end SENECA workflow of paper
+// Figure 1: data preparation (A, via internal/ctorg), FP32 U-Net definition
+// (B) and training (C) with the weighted Focal Tversky loss, INT8
+// quantization with a curated calibration set (D), and compilation plus
+// deployment onto the simulated ZCU104 DPU (E). It also provides the
+// evaluation routines behind the paper's accuracy tables and figures.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"seneca/internal/ctorg"
+	"seneca/internal/nn"
+	"seneca/internal/quant"
+	"seneca/internal/unet"
+)
+
+// TrainConfig controls FP32 model training (Figure 1-C).
+type TrainConfig struct {
+	// Epochs over the training set.
+	Epochs int
+	// BatchSize in slices.
+	BatchSize int
+	// LearningRate for Adam.
+	LearningRate float32
+	// Loss selects the training loss: "focal-tversky" (the paper's choice,
+	// Section III-C), "dice" or "cross-entropy" (ablations).
+	Loss string
+	// BGDamp damps the background class weight in the inverse-frequency
+	// weighting (background is huge but easy).
+	BGDamp float64
+	// WeightPow tempers the inverse-frequency weights: w ∝ freq^−WeightPow.
+	// 1 is the raw inverse; 0.5 (the default) keeps small organs favored
+	// without starving the large ones.
+	WeightPow float64
+	// ClipNorm is the global gradient-norm clip (0 disables).
+	ClipNorm float64
+	// OversampleRare repeats slices containing the rarest organs (bladder,
+	// kidneys) this many times per epoch, compensating for how few slices
+	// they appear in. 0 or 1 disables. This is a sampling-level counterpart
+	// of the paper's class weighting — small organs otherwise appear in so
+	// few slices that short training schedules never fit them.
+	OversampleRare int
+	// Augment enables training-time augmentation (horizontal flips,
+	// intensity jitter, noise) — standard medical-segmentation practice
+	// that the small phantom cohort benefits from.
+	Augment bool
+	// QAT enables quantization-aware training: weights are fake-quantized
+	// in every forward pass with a straight-through estimator.
+	QAT bool
+	// Seed drives batch shuffling.
+	Seed int64
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// DefaultTrainConfig returns the settings used by the experiment harnesses'
+// fast mode.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:         8,
+		BatchSize:      4,
+		LearningRate:   2e-3,
+		Loss:           "focal-tversky",
+		BGDamp:         0.25,
+		WeightPow:      0.5,
+		OversampleRare: 3,
+		ClipNorm:       5,
+		Seed:           1,
+	}
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	EpochLoss []float64
+	// Weights are the per-class loss weights derived from the training-set
+	// organ frequencies (Section III-C).
+	Weights []float32
+}
+
+// buildLoss constructs the configured loss over the dataset's class
+// distribution.
+func buildLoss(cfg TrainConfig, ds *ctorg.Dataset) (nn.Loss, []float32, error) {
+	freq := ds.ClassPixelFractions()
+	pow := cfg.WeightPow
+	if pow == 0 {
+		pow = 0.5
+	}
+	weights := nn.InverseFrequencyWeightsPow(freq, cfg.BGDamp, pow)
+	switch cfg.Loss {
+	case "", "focal-tversky":
+		return nn.NewFocalTversky(weights), weights, nil
+	case "focal-tversky-unweighted":
+		uw := make([]float32, len(freq))
+		for i := range uw {
+			uw[i] = 1
+		}
+		return nn.NewFocalTversky(uw), uw, nil
+	case "dice":
+		return nn.NewDiceLoss(len(freq)), weights, nil
+	case "cross-entropy":
+		return &nn.CrossEntropy{}, weights, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown loss %q", cfg.Loss)
+	}
+}
+
+// Train fits a model configuration on the training dataset and returns the
+// trained model. Training is deterministic given the config seeds.
+func Train(modelCfg unet.Config, train *ctorg.Dataset, cfg TrainConfig) (*unet.Model, TrainReport, error) {
+	if train.Len() == 0 {
+		return nil, TrainReport{}, fmt.Errorf("core: empty training set")
+	}
+	model := unet.New(modelCfg)
+	loss, weights, err := buildLoss(cfg, train)
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	opt := nn.NewAdam(cfg.LearningRate)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	report := TrainReport{Weights: weights}
+
+	var qat *quant.QATProjector
+	if cfg.QAT {
+		qat = quant.NewQATProjector(model.Params())
+	}
+
+	var aug *ctorg.Augmenter
+	if cfg.Augment {
+		aug = ctorg.NewAugmenter(cfg.Seed + 1)
+	}
+	indices := trainingIndices(train, cfg.OversampleRare)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(indices), func(i, j int) { indices[i], indices[j] = indices[j], indices[i] })
+		var epochLoss float64
+		batches := 0
+		for at := 0; at < len(indices); at += cfg.BatchSize {
+			hi := at + cfg.BatchSize
+			if hi > len(indices) {
+				hi = len(indices)
+			}
+			x, labels := train.Batch(indices[at:hi])
+			if aug != nil {
+				hw := train.Size * train.Size
+				for bi := 0; bi < hi-at; bi++ {
+					img, lab := aug.Apply(x.Data[bi*hw:(bi+1)*hw], labels[bi*hw:(bi+1)*hw], train.Size)
+					copy(x.Data[bi*hw:(bi+1)*hw], img)
+					copy(labels[bi*hw:(bi+1)*hw], lab)
+				}
+			}
+			if qat != nil {
+				qat.Project()
+			}
+			probs := model.Forward(x, true)
+			l := loss.Forward(probs, labels)
+			grad := loss.Backward()
+			model.Backward(grad)
+			if qat != nil {
+				qat.Restore()
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(model.Params(), cfg.ClipNorm)
+			}
+			opt.Step(model.Params())
+			epochLoss += l
+			batches++
+		}
+		epochLoss /= float64(batches)
+		report.EpochLoss = append(report.EpochLoss, epochLoss)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, epochLoss)
+		}
+	}
+	return model, report, nil
+}
+
+// trainingIndices returns one epoch's slice index multiset: every slice
+// once, plus extra copies of slices containing the two rarest organ classes
+// (bladder and kidneys in CT-ORG).
+func trainingIndices(train *ctorg.Dataset, oversample int) []int {
+	indices := make([]int, 0, train.Len())
+	for i := range train.Slices {
+		indices = append(indices, i)
+	}
+	if oversample <= 1 {
+		return indices
+	}
+	for i, s := range train.Slices {
+		if s.ClassPixels[2] > 0 || s.ClassPixels[4] > 0 { // bladder, kidneys
+			for k := 1; k < oversample; k++ {
+				indices = append(indices, i)
+			}
+		}
+	}
+	return indices
+}

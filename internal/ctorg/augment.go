@@ -1,0 +1,84 @@
+package ctorg
+
+import (
+	"math/rand"
+)
+
+// Augmenter applies label-preserving training-time augmentations to CT
+// slices: horizontal flips (anatomically plausible for axial CT up to
+// left/right asymmetry), small intensity shifts/scales (scanner
+// calibration variation), and additive Gaussian noise. Augmentation
+// operates on copies; the dataset is never mutated.
+type Augmenter struct {
+	// FlipProb is the probability of a horizontal mirror.
+	FlipProb float64
+	// IntensityShift is the maximum absolute additive shift (in the [-1,1]
+	// normalized intensity space).
+	IntensityShift float64
+	// IntensityScale is the maximum relative multiplicative jitter.
+	IntensityScale float64
+	// NoiseSigma is the additive Gaussian noise level.
+	NoiseSigma float64
+
+	rng *rand.Rand
+}
+
+// NewAugmenter constructs an augmenter with the given seed and sensible
+// medical-CT defaults.
+func NewAugmenter(seed int64) *Augmenter {
+	return &Augmenter{
+		FlipProb:       0.5,
+		IntensityShift: 0.05,
+		IntensityScale: 0.05,
+		NoiseSigma:     0.01,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Apply returns an augmented copy of (image, labels). The same geometric
+// transform is applied to both so they stay aligned.
+func (a *Augmenter) Apply(image []float32, labels []uint8, size int) ([]float32, []uint8) {
+	img := append([]float32(nil), image...)
+	lab := append([]uint8(nil), labels...)
+
+	if a.rng.Float64() < a.FlipProb {
+		flipHorizontal(img, size)
+		flipHorizontalLabels(lab, size)
+	}
+	shift := float32((a.rng.Float64()*2 - 1) * a.IntensityShift)
+	scale := float32(1 + (a.rng.Float64()*2-1)*a.IntensityScale)
+	sigma := a.NoiseSigma
+	for i := range img {
+		v := img[i]*scale + shift
+		if sigma > 0 {
+			v += float32(a.rng.NormFloat64() * sigma)
+		}
+		// Stay in the normalized intensity range.
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		img[i] = v
+	}
+	return img, lab
+}
+
+func flipHorizontal(img []float32, size int) {
+	for y := 0; y < size; y++ {
+		row := img[y*size : (y+1)*size]
+		for i, j := 0, size-1; i < j; i, j = i+1, j-1 {
+			row[i], row[j] = row[j], row[i]
+		}
+	}
+}
+
+func flipHorizontalLabels(lab []uint8, size int) {
+	for y := 0; y < size; y++ {
+		row := lab[y*size : (y+1)*size]
+		for i, j := 0, size-1; i < j; i, j = i+1, j-1 {
+			row[i], row[j] = row[j], row[i]
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package ctorg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAugmenterPreservesAlignment(t *testing.T) {
+	// A slice where intensity encodes the label: after any augmentation the
+	// bright pixels must still carry the organ label.
+	size := 8
+	img := make([]float32, size*size)
+	lab := make([]uint8, size*size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			if x < size/2 {
+				img[y*size+x] = 0.9
+				lab[y*size+x] = 3
+			} else {
+				img[y*size+x] = -0.9
+			}
+		}
+	}
+	a := NewAugmenter(1)
+	a.FlipProb = 1 // force the flip
+	a.NoiseSigma = 0
+	a.IntensityShift = 0
+	a.IntensityScale = 0
+	gi, gl := a.Apply(img, lab, size)
+	for i := range gi {
+		bright := gi[i] > 0
+		labeled := gl[i] == 3
+		if bright != labeled {
+			t.Fatalf("pixel %d: intensity %v but label %d — flip broke alignment", i, gi[i], gl[i])
+		}
+	}
+	// Flip actually happened: bright half moved right.
+	if gi[0] > 0 {
+		t.Fatal("flip did not occur")
+	}
+}
+
+func TestAugmenterDoesNotMutateInputs(t *testing.T) {
+	size := 4
+	img := make([]float32, size*size)
+	lab := make([]uint8, size*size)
+	img[5] = 0.5
+	lab[5] = 2
+	a := NewAugmenter(2)
+	a.Apply(img, lab, size)
+	if img[5] != 0.5 || lab[5] != 2 {
+		t.Fatal("augmenter mutated its inputs")
+	}
+}
+
+func TestAugmenterIntensityBounds(t *testing.T) {
+	size := 16
+	img := make([]float32, size*size)
+	lab := make([]uint8, size*size)
+	for i := range img {
+		img[i] = 1 // at the boundary
+	}
+	a := NewAugmenter(3)
+	for trial := 0; trial < 10; trial++ {
+		gi, _ := a.Apply(img, lab, size)
+		for i, v := range gi {
+			if v > 1 || v < -1 {
+				t.Fatalf("trial %d pixel %d out of range: %v", trial, i, v)
+			}
+			if math.IsNaN(float64(v)) {
+				t.Fatal("NaN intensity")
+			}
+		}
+	}
+}
+
+func TestAugmenterLabelValuesPreserved(t *testing.T) {
+	size := 8
+	img := make([]float32, size*size)
+	lab := make([]uint8, size*size)
+	for i := range lab {
+		lab[i] = uint8(i % NumClasses)
+	}
+	a := NewAugmenter(4)
+	var histBefore, histAfter [NumClasses]int
+	for _, l := range lab {
+		histBefore[l]++
+	}
+	_, gl := a.Apply(img, lab, size)
+	for _, l := range gl {
+		histAfter[l]++
+	}
+	// Flips permute positions but never change the class histogram.
+	if histBefore != histAfter {
+		t.Fatalf("label histogram changed: %v → %v", histBefore, histAfter)
+	}
+}

@@ -1,0 +1,135 @@
+package ctorg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TableIIIManualTargets is the organ frequency distribution of the paper's
+// manually-corrected calibration set (Table III, "Manual Sampling" row):
+// the small organs (bladder, kidneys) are boosted roughly 2.5× over their
+// natural dataset frequency so quantization does not sacrifice them.
+var TableIIIManualTargets = map[uint8]float64{
+	1: 0.2169, // liver
+	2: 0.0766, // bladder
+	3: 0.3202, // lungs
+	4: 0.0690, // kidneys
+	5: 0.3173, // bones
+}
+
+// RandomCalibration samples n slice indices uniformly at random — the naive
+// calibration-set construction whose organ distribution mirrors Table I
+// (Table III, "Random Sampling" row).
+func RandomCalibration(d *Dataset, n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	if n > d.Len() {
+		n = d.Len()
+	}
+	perm := rng.Perm(d.Len())
+	return perm[:n]
+}
+
+// ManualCalibration builds an n-slice calibration set whose labeled-pixel
+// organ distribution approaches the given targets (use
+// TableIIIManualTargets for the paper's distribution). It reproduces the
+// paper's "manual organ frequencies correction" with deficit-directed
+// selection: at every step it draws a pool of candidate slices and keeps
+// the one whose organ content best covers the organs currently most
+// under-represented relative to the target. The calibration set itself
+// remains unlabeled for the quantizer — labels are only used here to
+// *select* slices, exactly as a human curator would.
+func ManualCalibration(d *Dataset, n int, targets map[uint8]float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	if n > d.Len() {
+		n = d.Len()
+	}
+	var counts [NumClasses]float64
+	var total float64
+	chosen := make([]int, 0, n)
+	used := make(map[int]bool, n)
+
+	const poolSize = 32
+	for len(chosen) < n {
+		// Per-organ deficit: positive for organs below target.
+		var deficit [NumClasses]float64
+		for c := uint8(1); c < NumClasses; c++ {
+			cur := 0.0
+			if total > 0 {
+				cur = counts[c] / total
+			}
+			deficit[c] = targets[c] - cur
+		}
+		bestIdx := -1
+		bestScore := math.Inf(-1)
+		for trial := 0; trial < poolSize; trial++ {
+			idx := rng.Intn(d.Len())
+			if used[idx] {
+				continue
+			}
+			score := deficitScore(deficit, d.Slices[idx])
+			if score > bestScore {
+				bestScore = score
+				bestIdx = idx
+			}
+		}
+		if bestIdx < 0 {
+			// Pool exhausted by duplicates (tiny datasets): linear scan.
+			for idx := 0; idx < d.Len(); idx++ {
+				if !used[idx] {
+					bestIdx = idx
+					break
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+		for c := 1; c < NumClasses; c++ {
+			counts[c] += float64(d.Slices[bestIdx].ClassPixels[c])
+			total += float64(d.Slices[bestIdx].ClassPixels[c])
+		}
+	}
+	return chosen
+}
+
+// deficitScore rates a candidate slice by how much of its labeled content
+// falls in under-represented organs: the dot product between the slice's
+// organ distribution and the current deficit vector.
+func deficitScore(deficit [NumClasses]float64, s *Slice) float64 {
+	var labeled float64
+	for c := 1; c < NumClasses; c++ {
+		labeled += float64(s.ClassPixels[c])
+	}
+	if labeled == 0 {
+		return math.Inf(-1)
+	}
+	var score float64
+	for c := 1; c < NumClasses; c++ {
+		score += deficit[c] * float64(s.ClassPixels[c]) / labeled
+	}
+	return score
+}
+
+// CalibrationFrequencies computes the Table III statistic for a calibration
+// index set: the labeled-pixel fraction per organ.
+func CalibrationFrequencies(d *Dataset, indices []int) [NumClasses]float64 {
+	var counts [NumClasses]float64
+	var total float64
+	for _, idx := range indices {
+		s := d.Slices[idx]
+		for c := 1; c < NumClasses; c++ {
+			counts[c] += float64(s.ClassPixels[c])
+			total += float64(s.ClassPixels[c])
+		}
+	}
+	var out [NumClasses]float64
+	if total == 0 {
+		return out
+	}
+	for c := 1; c < NumClasses; c++ {
+		out[c] = counts[c] / total
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package ctorg
+
+import (
+	"math"
+	"testing"
+
+	"seneca/internal/phantom"
+)
+
+func testDataset(t *testing.T, patients int) *Dataset {
+	t.Helper()
+	opt := phantom.Options{Size: 64, Slices: 16, Seed: 7, NoiseSigma: 10}
+	vols := phantom.GenerateDataset(patients, opt)
+	return Build(vols, 32)
+}
+
+func TestBuildPreprocessesToTargetSize(t *testing.T) {
+	d := testDataset(t, 2)
+	if d.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	for _, s := range d.Slices {
+		if len(s.Image) != 32*32 || len(s.Labels) != 32*32 {
+			t.Fatalf("slice not resized: img %d lab %d", len(s.Image), len(s.Labels))
+		}
+		for _, v := range s.Image {
+			if v < -1 || v > 1 {
+				t.Fatalf("intensity %v outside [-1,1]", v)
+			}
+		}
+		for _, l := range s.Labels {
+			if l >= NumClasses {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestClassPixelsConsistent(t *testing.T) {
+	d := testDataset(t, 1)
+	for _, s := range d.Slices {
+		var manual [NumClasses]int
+		for _, l := range s.Labels {
+			manual[l]++
+		}
+		if manual != s.ClassPixels {
+			t.Fatalf("ClassPixels cache inconsistent: %v vs %v", s.ClassPixels, manual)
+		}
+	}
+}
+
+func TestSplitByPatientIsDisjointAndComplete(t *testing.T) {
+	d := testDataset(t, 10)
+	train, val, test := d.Split(0.6, 0.2, 3)
+	if train.Len()+val.Len()+test.Len() != d.Len() {
+		t.Fatalf("split loses slices: %d+%d+%d != %d", train.Len(), val.Len(), test.Len(), d.Len())
+	}
+	seen := make(map[int]string)
+	check := func(name string, ds *Dataset) {
+		for _, s := range ds.Slices {
+			if prev, ok := seen[s.Patient]; ok && prev != name {
+				t.Fatalf("patient %d appears in both %s and %s", s.Patient, prev, name)
+			}
+			seen[s.Patient] = name
+		}
+	}
+	check("train", train)
+	check("val", val)
+	check("test", test)
+	if len(train.Patients()) != 6 || len(val.Patients()) != 2 || len(test.Patients()) != 2 {
+		t.Fatalf("patient partition %d/%d/%d, want 6/2/2",
+			len(train.Patients()), len(val.Patients()), len(test.Patients()))
+	}
+}
+
+func TestBatchLayout(t *testing.T) {
+	d := testDataset(t, 1)
+	x, labels := d.Batch([]int{0, 1})
+	if x.Shape[0] != 2 || x.Shape[1] != 1 || x.Shape[2] != 32 || x.Shape[3] != 32 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if len(labels) != 2*32*32 {
+		t.Fatalf("labels length %d", len(labels))
+	}
+	// First image must be slice 0's image verbatim.
+	for i, v := range d.Slices[0].Image {
+		if x.Data[i] != v {
+			t.Fatalf("batch image mismatch at %d", i)
+		}
+	}
+}
+
+func TestImagesCHW(t *testing.T) {
+	d := testDataset(t, 1)
+	imgs := d.Images([]int{0, 2})
+	if len(imgs) != 2 {
+		t.Fatalf("images count %d", len(imgs))
+	}
+	if imgs[0].Rank() != 3 || imgs[0].Shape[0] != 1 || imgs[0].Shape[1] != 32 {
+		t.Fatalf("image shape %v", imgs[0].Shape)
+	}
+}
+
+func TestOrganFrequenciesSumToOne(t *testing.T) {
+	d := testDataset(t, 4)
+	f := d.OrganFrequencies()
+	var sum float64
+	for c := 1; c < NumClasses; c++ {
+		sum += f[c]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("organ frequencies sum to %v", sum)
+	}
+	if f[0] != 0 {
+		t.Fatalf("background frequency %v in labeled statistic", f[0])
+	}
+}
+
+func TestRandomCalibrationMirrorsDataset(t *testing.T) {
+	d := testDataset(t, 8)
+	idx := RandomCalibration(d, 60, 5)
+	if len(idx) != 60 {
+		t.Fatalf("calibration size %d", len(idx))
+	}
+	calib := CalibrationFrequencies(d, idx)
+	full := d.OrganFrequencies()
+	// Random sampling tracks the dataset distribution (Table III row 1).
+	for c := uint8(1); c < NumClasses; c++ {
+		if full[c] < 0.01 {
+			continue
+		}
+		if math.Abs(calib[c]-full[c]) > 0.12 {
+			t.Errorf("%s: random calibration %.3f vs dataset %.3f", ClassNames[c], calib[c], full[c])
+		}
+	}
+}
+
+// TestManualCalibrationLevelsSmallOrgans reproduces the Table III effect:
+// after manual sampling the bladder and kidney fractions must rise
+// substantially above their random-sampling values while big organs shrink
+// slightly.
+func TestManualCalibrationLevelsSmallOrgans(t *testing.T) {
+	d := testDataset(t, 14)
+	randIdx := RandomCalibration(d, 50, 11)
+	manIdx := ManualCalibration(d, 50, TableIIIManualTargets, 11)
+	if len(manIdx) != 50 {
+		t.Fatalf("manual calibration size %d", len(manIdx))
+	}
+	randF := CalibrationFrequencies(d, randIdx)
+	manF := CalibrationFrequencies(d, manIdx)
+
+	if manF[2] <= randF[2]*1.3 {
+		t.Errorf("bladder not boosted: manual %.4f vs random %.4f", manF[2], randF[2])
+	}
+	if manF[4] <= randF[4]*1.2 {
+		t.Errorf("kidneys not boosted: manual %.4f vs random %.4f", manF[4], randF[4])
+	}
+	// Manual distribution approaches the Table III targets.
+	for c := uint8(1); c < NumClasses; c++ {
+		if math.Abs(manF[c]-TableIIIManualTargets[c]) > 0.08 {
+			t.Errorf("%s: manual calibration %.4f, target %.4f", ClassNames[c], manF[c], TableIIIManualTargets[c])
+		}
+	}
+	// No duplicate indices.
+	seen := make(map[int]bool)
+	for _, i := range manIdx {
+		if seen[i] {
+			t.Fatalf("duplicate calibration slice %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := testDataset(t, 1)
+	s := d.Subset([]int{0, 3, 5})
+	if s.Len() != 3 || s.Slices[1] != d.Slices[3] {
+		t.Fatal("Subset wrong")
+	}
+}

@@ -1,0 +1,82 @@
+// Package energy measures simulated power and energy — the stand-in for the
+// Voltcraft 4000 energy logger (FPGA board power) and nvidia-smi (GPU board
+// power) used in the paper's Section IV-A1. Device simulators emit a
+// piecewise-constant power trace over *simulated* time; the logger
+// integrates it into Joules and reports the Energy Efficiency of Eq. (3),
+// EE = FPS/Watt = frames/Joule.
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Logger accumulates a piecewise-constant power trace.
+type Logger struct {
+	total   time.Duration
+	joules  float64
+	samples int
+}
+
+// Record adds a segment of the given duration at constant watts.
+func (l *Logger) Record(d time.Duration, watts float64) {
+	if d < 0 {
+		panic("energy: negative duration")
+	}
+	l.total += d
+	l.joules += watts * d.Seconds()
+	l.samples++
+}
+
+// Duration returns the total logged (simulated) time.
+func (l *Logger) Duration() time.Duration { return l.total }
+
+// Joules returns the integrated energy.
+func (l *Logger) Joules() float64 { return l.joules }
+
+// AverageWatts returns the mean power over the logged interval.
+func (l *Logger) AverageWatts() float64 {
+	if l.total <= 0 {
+		return 0
+	}
+	return l.joules / l.total.Seconds()
+}
+
+// Samples returns how many segments were recorded.
+func (l *Logger) Samples() int { return l.samples }
+
+// Report is the throughput/power/efficiency triple the paper's tables use.
+type Report struct {
+	Frames   int
+	Duration time.Duration
+	Joules   float64
+}
+
+// FPS returns frames per (simulated) second.
+func (r Report) FPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Duration.Seconds()
+}
+
+// Watts returns the mean power draw.
+func (r Report) Watts() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.Joules / r.Duration.Seconds()
+}
+
+// EnergyEfficiency returns Eq. (3): FPS/Watt ≡ frames/Joule.
+func (r Report) EnergyEfficiency() float64 {
+	if r.Joules <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Joules
+}
+
+// String renders the triple.
+func (r Report) String() string {
+	return fmt.Sprintf("%.1f FPS, %.2f W, %.2f FPS/W", r.FPS(), r.Watts(), r.EnergyEfficiency())
+}

@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLoggerIntegration(t *testing.T) {
+	var l Logger
+	l.Record(2*time.Second, 10)
+	l.Record(1*time.Second, 40)
+	if l.Joules() != 60 {
+		t.Fatalf("Joules = %v, want 60", l.Joules())
+	}
+	if l.Duration() != 3*time.Second {
+		t.Fatalf("Duration = %v", l.Duration())
+	}
+	if got := l.AverageWatts(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("AverageWatts = %v, want 20", got)
+	}
+	if l.Samples() != 2 {
+		t.Fatalf("Samples = %d", l.Samples())
+	}
+}
+
+func TestEmptyLogger(t *testing.T) {
+	var l Logger
+	if l.AverageWatts() != 0 || l.Joules() != 0 {
+		t.Fatal("empty logger must read zero")
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration accepted")
+		}
+	}()
+	var l Logger
+	l.Record(-time.Second, 1)
+}
+
+func TestReportEquivalence(t *testing.T) {
+	// EE = FPS/W must equal frames/J exactly (Eq. 3).
+	r := Report{Frames: 500, Duration: 2 * time.Second, Joules: 100}
+	fps := r.FPS()     // 250
+	watts := r.Watts() // 50
+	if fps != 250 || watts != 50 {
+		t.Fatalf("FPS/W = %v/%v", fps, watts)
+	}
+	if ee := r.EnergyEfficiency(); math.Abs(ee-fps/watts) > 1e-12 || ee != 5 {
+		t.Fatalf("EE = %v", ee)
+	}
+}
+
+func TestReportZeroSafety(t *testing.T) {
+	var r Report
+	if r.FPS() != 0 || r.Watts() != 0 || r.EnergyEfficiency() != 0 {
+		t.Fatal("zero report must not divide by zero")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Frames: 100, Duration: time.Second, Joules: 50}
+	if got := r.String(); got != "100.0 FPS, 50.00 W, 2.00 FPS/W" {
+		t.Fatalf("String = %q", got)
+	}
+}

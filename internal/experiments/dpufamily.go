@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"seneca/internal/dpu"
+	"seneca/internal/unet"
+	"seneca/internal/vart"
+)
+
+// DPUFamilyPoint is one row of the accelerator design-space exploration: a
+// DPU configuration's throughput and efficiency on a given model.
+type DPUFamilyPoint struct {
+	Device  string
+	PeakOps int
+	FPS     float64
+	Watts   float64
+	EE      float64
+}
+
+// DPUFamilySweep evaluates the given model across the whole DPUCZDX8G
+// family (B512…B4096) at 4 runtime threads — the architecture-selection
+// study a deployment would run before committing to a fabric configuration.
+// It extends the paper's evaluation (which fixes the ZCU104's default
+// B4096) along the soft-DSA flexibility axis the paper motivates in
+// Section II.
+func (e *Env) DPUFamilySweep(w io.Writer, cfgName string) ([]DPUFamilyPoint, error) {
+	cfg, err := unet.ConfigByName(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := e.TimingProgram(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []DPUFamilyPoint
+	fmt.Fprintf(w, "DPU family sweep — %s at 256×256, 4 threads\n", cfgName)
+	fmt.Fprintf(w, "%-18s %9s %10s %8s %8s\n", "device", "ops/cycle", "FPS", "W", "FPS/W")
+	for _, dc := range dpu.Family() {
+		dev := dpu.New(dc)
+		runner := vart.New(dev, prog, 4)
+		r := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		p := DPUFamilyPoint{
+			Device:  dc.Name,
+			PeakOps: dc.PeakOpsPerCycle(),
+			FPS:     r.FPS(),
+			Watts:   r.Watts(),
+			EE:      r.EnergyEfficiency(),
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%-18.18s %9d %10.1f %8.2f %8.2f\n", p.Device, p.PeakOps, p.FPS, p.Watts, p.EE)
+	}
+	return out, nil
+}

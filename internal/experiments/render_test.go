@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"seneca/internal/metrics"
+)
+
+func TestAsciiBoxGeometry(t *testing.T) {
+	b := metrics.BoxStats{
+		Min: 0.1, Q1: 0.4, Median: 0.5, Q3: 0.6, Max: 0.9,
+		WhiskerLow: 0.2, WhiskerHigh: 0.8,
+	}
+	s := asciiBox(b)
+	if len(s) != 52 { // 50 cells + brackets
+		t.Fatalf("box width %d", len(s))
+	}
+	if !strings.Contains(s, "|") || !strings.Contains(s, "=") || !strings.Contains(s, "-") {
+		t.Fatalf("box missing glyphs: %q", s)
+	}
+	// The median bar must sit inside the quartile box region.
+	mid := strings.IndexByte(s, '|')
+	firstEq := strings.IndexByte(s, '=')
+	lastEq := strings.LastIndexByte(s, '=')
+	if mid < firstEq-1 || mid > lastEq+1 {
+		t.Fatalf("median outside box: %q", s)
+	}
+}
+
+func TestAsciiBoxClamps(t *testing.T) {
+	// Degenerate stats must not panic or index out of range.
+	b := metrics.BoxStats{Min: -1, Q1: 0, Median: 2, Q3: 3, Max: 5, WhiskerLow: -2, WhiskerHigh: 7}
+	s := asciiBox(b)
+	if len(s) != 52 {
+		t.Fatalf("box width %d", len(s))
+	}
+}
+
+func TestCTORGReferenceValues(t *testing.T) {
+	ref := CTORGPaper()
+	// Table V column values, quoted from [17].
+	if ref.GlobalDSC.Mean != 0.8817 || ref.GlobalDSC.Std != 0.0516 {
+		t.Fatalf("global reference %+v", ref.GlobalDSC)
+	}
+	if ref.OrganDSC[2].Mean != 0.5810 {
+		t.Fatalf("bladder reference %+v", ref.OrganDSC[2])
+	}
+	if ref.FPSLow != 17 || ref.FPSHigh != 197 {
+		t.Fatalf("FPS range %v-%v", ref.FPSLow, ref.FPSHigh)
+	}
+}
+
+func TestPaperTableIRenormalized(t *testing.T) {
+	var sum float64
+	for _, v := range PaperTableI {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("paper Table I frequencies sum to %v after brain removal", sum)
+	}
+}
+
+func TestAccuracyConfigReducesDepth(t *testing.T) {
+	cfg := accuracyConfig(TinyScale().TimingModels()[4], TinyScale()) // 16M, depth 5
+	if cfg.Depth != 4 {
+		t.Fatalf("depth %d at 32px, want 4", cfg.Depth)
+	}
+	big := Scale{ImageSize: 256}
+	cfg = accuracyConfig(PaperScale().TimingModels()[4], big)
+	if cfg.Depth != 5 {
+		t.Fatalf("depth %d at 256px, want 5 (unchanged)", cfg.Depth)
+	}
+}

@@ -1,0 +1,105 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section IV): Tables I–V, Figures 3–6, plus the ablations the
+// text describes (PTQ/FFQ/QAT, thread scaling, loss functions). Each
+// experiment prints the same rows/series the paper reports and returns
+// structured results for the test and benchmark harnesses to assert on.
+//
+// Two scales are provided. Fast scale trains small-resolution models on a
+// small phantom cohort — minutes of CPU — and is what the benches and CI
+// run; paper scale replicates the full geometry (140 patients, 512→256
+// inputs, 500-slice calibration set, 2000-frame runs ×10). Throughput and
+// power numbers always use the full 256×256 Table II programs (timing
+// depends only on layer shapes), so the performance side is scale-exact
+// even in fast mode; only accuracy training is reduced.
+package experiments
+
+import (
+	"seneca/internal/unet"
+)
+
+// Scale bundles every knob that differs between fast and paper-scale runs.
+type Scale struct {
+	Name string
+
+	// Dataset geometry.
+	Patients        int
+	VolumeSize      int // phantom slice resolution before preprocessing
+	SlicesPerVolume int
+	ImageSize       int // network input after preprocessing
+
+	// Training.
+	TrainEpochs int
+	BatchSize   int
+
+	// Quantization.
+	CalibSize int
+
+	// Throughput measurement.
+	EvalFrames int // frames per run (paper: 2000)
+	Runs       int // repeated runs for µ±σ (paper: 10)
+
+	// TimingImageSize is the input size used for the performance models —
+	// always 256, matching the paper, regardless of accuracy scale.
+	TimingImageSize int
+
+	Seed int64
+}
+
+// FastScale returns the CI/bench scale: small cohort, 48×48 accuracy
+// models (~2 minutes of single-core training each), full-size timing
+// programs.
+func FastScale() Scale {
+	return Scale{
+		Name:            "fast",
+		Patients:        10,
+		VolumeSize:      96,
+		SlicesPerVolume: 14,
+		ImageSize:       48,
+		TrainEpochs:     14,
+		BatchSize:       6,
+		CalibSize:       40,
+		EvalFrames:      2000,
+		Runs:            5,
+		TimingImageSize: 256,
+		Seed:            3,
+	}
+}
+
+// PaperScale returns the full replication geometry of Section IV.
+func PaperScale() Scale {
+	return Scale{
+		Name:            "paper",
+		Patients:        140,
+		VolumeSize:      512,
+		SlicesPerVolume: 60,
+		ImageSize:       256,
+		TrainEpochs:     40,
+		BatchSize:       8,
+		CalibSize:       500,
+		EvalFrames:      2000,
+		Runs:            10,
+		TimingImageSize: 256,
+		Seed:            3,
+	}
+}
+
+// TinyScale is for unit tests of the harness itself: seconds, not minutes.
+func TinyScale() Scale {
+	return Scale{
+		Name:            "tiny",
+		Patients:        6,
+		VolumeSize:      64,
+		SlicesPerVolume: 10,
+		ImageSize:       32,
+		TrainEpochs:     3,
+		BatchSize:       6,
+		CalibSize:       16,
+		EvalFrames:      100,
+		Runs:            3,
+		TimingImageSize: 256,
+		Seed:            3,
+	}
+}
+
+// TimingModels always returns the verbatim Table II configurations.
+func (s Scale) TimingModels() []unet.Config { return unet.TableII() }

@@ -1,0 +1,41 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+
+	"seneca/internal/unet"
+)
+
+func TestHostOverheadDominatesSmallModels(t *testing.T) {
+	// For a tiny network the frame time collapses to host + launch
+	// overheads — the regime that makes the paper's GPU baseline so slow at
+	// batch 1.
+	dev := New(RTX2060Mobile())
+	g := unet.New(unet.Config{Name: "t", Depth: 1, BaseFilters: 2, InChannels: 1, NumClasses: 2, Seed: 1}).Export(16, 16)
+	lat := dev.FrameLatency(g)
+	if lat < dev.Cfg.HostPerFrame {
+		t.Fatalf("latency %v below host floor %v", lat, dev.Cfg.HostPerFrame)
+	}
+	if lat > dev.Cfg.HostPerFrame+5*time.Millisecond {
+		t.Fatalf("tiny model latency %v far above overhead floor", lat)
+	}
+}
+
+func TestLatencyScalesWithResolution(t *testing.T) {
+	dev := New(RTX2060Mobile())
+	cfg := unet.Config{Name: "t", Depth: 2, BaseFilters: 16, InChannels: 1, NumClasses: 6, Seed: 1}
+	small := unet.New(cfg).Export(64, 64)
+	big := unet.New(cfg).Export(256, 256)
+	ls, lb := dev.FrameLatency(small), dev.FrameLatency(big)
+	if lb <= ls {
+		t.Fatalf("256² (%v) not slower than 64² (%v)", lb, ls)
+	}
+}
+
+func TestIdleBelowLoadPower(t *testing.T) {
+	cfg := RTX2060Mobile()
+	if cfg.IdleWatts >= cfg.LoadWatts {
+		t.Fatal("idle power above load power")
+	}
+}

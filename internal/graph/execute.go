@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+
+	"seneca/internal/tensor"
+)
+
+// Forward runs the FP32 reference executor on a single CHW image and
+// returns the output tensor. It is used as the calibration executor by the
+// quantizer and as the accuracy reference for INT8 comparisons. If tap is
+// non-nil it is invoked with every node's output (activation observation).
+func (g *Graph) Forward(img *tensor.Tensor, tap func(node *Node, out *tensor.Tensor)) (*tensor.Tensor, error) {
+	if img.Rank() != 3 || img.Shape[0] != g.InC || img.Shape[1] != g.InH || img.Shape[2] != g.InW {
+		return nil, fmt.Errorf("graph: input shape %v, want [%d %d %d]", img.Shape, g.InC, g.InH, g.InW)
+	}
+	acts := make(map[string]*tensor.Tensor, len(g.Nodes))
+	for _, n := range g.Nodes {
+		var out *tensor.Tensor
+		switch n.Kind {
+		case KindInput:
+			out = img
+		case KindConv:
+			out = convForward(n, acts[n.Inputs[0]])
+		case KindConvTranspose:
+			out = convTransposeForward(n, acts[n.Inputs[0]])
+		case KindBatchNorm:
+			out = bnForward(n, acts[n.Inputs[0]])
+		case KindReLU:
+			out = acts[n.Inputs[0]].Clone()
+			out.Apply(func(v float32) float32 {
+				if v < 0 {
+					return 0
+				}
+				return v
+			})
+		case KindMaxPool:
+			in := acts[n.Inputs[0]]
+			p, _ := tensor.MaxPool2x2(in.Reshape(1, in.Shape[0], in.Shape[1], in.Shape[2]))
+			out = p.Reshape(p.Shape[1], p.Shape[2], p.Shape[3])
+		case KindConcat:
+			a, b := acts[n.Inputs[0]], acts[n.Inputs[1]]
+			cc := tensor.ConcatChannels(
+				a.Reshape(1, a.Shape[0], a.Shape[1], a.Shape[2]),
+				b.Reshape(1, b.Shape[0], b.Shape[1], b.Shape[2]))
+			out = cc.Reshape(cc.Shape[1], cc.Shape[2], cc.Shape[3])
+		case KindDropout:
+			out = acts[n.Inputs[0]] // identity at inference
+		case KindSoftmax:
+			in := acts[n.Inputs[0]]
+			s := tensor.SoftmaxChannels(in.Reshape(1, in.Shape[0], in.Shape[1], in.Shape[2]))
+			out = s.Reshape(s.Shape[1], s.Shape[2], s.Shape[3])
+		default:
+			return nil, fmt.Errorf("graph: unsupported node kind %s", n.Kind)
+		}
+		if n.FusedReLU && n.Kind != KindReLU {
+			out.Apply(func(v float32) float32 {
+				if v < 0 {
+					return 0
+				}
+				return v
+			})
+		}
+		acts[n.Name] = out
+		if tap != nil {
+			tap(n, out)
+		}
+	}
+	return acts[g.OutputName], nil
+}
+
+func convForward(n *Node, x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := tensor.ConvOutSize(h, n.Kernel, n.Stride, n.Pad)
+	ow := tensor.ConvOutSize(w, n.Kernel, n.Stride, n.Pad)
+	ckk := n.InC * n.Kernel * n.Kernel
+	cols := tensor.New(ckk, oh*ow)
+	tensor.Im2Col(x.Data, c, h, w, n.Kernel, n.Kernel, n.Stride, n.Stride, n.Pad, n.Pad, cols.Data, oh, ow)
+	out := tensor.New(n.OutC, oh, ow)
+	tensor.MatMulInto(out.Reshape(n.OutC, oh*ow), n.Weight.Reshape(n.OutC, ckk), cols)
+	addBias(out, n.Bias, oh*ow)
+	return out
+}
+
+func convTransposeForward(n *Node, x *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := tensor.ConvTransposeOutSize(h, n.Kernel, n.Stride, n.Pad, n.OutPad)
+	ow := tensor.ConvTransposeOutSize(w, n.Kernel, n.Stride, n.Pad, n.OutPad)
+	ckk := n.OutC * n.Kernel * n.Kernel
+	cols := tensor.New(ckk, h*w)
+	tensor.MatMulATInto(cols, n.Weight.Reshape(n.InC, ckk), x.Reshape(c, h*w))
+	out := tensor.New(n.OutC, oh, ow)
+	tensor.Col2Im(cols.Data, n.OutC, oh, ow, n.Kernel, n.Kernel, n.Stride, n.Stride, n.Pad, n.Pad, out.Data, h, w)
+	addBias(out, n.Bias, oh*ow)
+	return out
+}
+
+func bnForward(n *Node, x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	c := x.Shape[0]
+	hw := x.Shape[1] * x.Shape[2]
+	for ch := 0; ch < c; ch++ {
+		s, b := n.Scale[ch], n.Shift[ch]
+		src := x.Data[ch*hw : (ch+1)*hw]
+		dst := out.Data[ch*hw : (ch+1)*hw]
+		for i, v := range src {
+			dst[i] = v*s + b
+		}
+	}
+	return out
+}
+
+func addBias(t *tensor.Tensor, bias []float32, hw int) {
+	if bias == nil {
+		return
+	}
+	for ch, b := range bias {
+		if b == 0 {
+			continue
+		}
+		row := t.Data[ch*hw : (ch+1)*hw]
+		for i := range row {
+			row[i] += b
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package graph defines the inference-graph intermediate representation
+// shared by the quantizer (internal/quant) and the compiler
+// (internal/xmodel). A Graph is exported from a trained U-Net
+// (internal/unet), transformed by optimization passes (batch-norm folding,
+// dropout elision, ReLU fusion) and finally lowered to DPU instructions.
+//
+// The IR is deliberately small: it models exactly the operator set the
+// SENECA networks use, with single-image CHW semantics (the batch dimension
+// is handled by the runtime, as on the real DPU).
+package graph
+
+import (
+	"fmt"
+
+	"seneca/internal/tensor"
+)
+
+// Kind enumerates IR operator kinds.
+type Kind int
+
+// Operator kinds.
+const (
+	KindInput Kind = iota
+	KindConv
+	KindConvTranspose
+	KindBatchNorm
+	KindReLU
+	KindMaxPool
+	KindConcat
+	KindDropout
+	KindSoftmax
+)
+
+var kindNames = map[Kind]string{
+	KindInput:         "input",
+	KindConv:          "conv",
+	KindConvTranspose: "conv-transpose",
+	KindBatchNorm:     "batchnorm",
+	KindReLU:          "relu",
+	KindMaxPool:       "maxpool",
+	KindConcat:        "concat",
+	KindDropout:       "dropout",
+	KindSoftmax:       "softmax",
+}
+
+// String returns the lower-case operator name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node is one operator in the graph.
+type Node struct {
+	Name   string
+	Kind   Kind
+	Inputs []string
+
+	// Convolution attributes (Conv / ConvTranspose).
+	Kernel, Stride, Pad, OutPad int
+	InC, OutC                   int
+	// Weight is [OutC, InC, K, K] for Conv and [InC, OutC, K, K] for
+	// ConvTranspose — the layouts of internal/nn.
+	Weight *tensor.Tensor
+	Bias   []float32
+
+	// BatchNorm attributes: y = x·Scale + Shift per channel.
+	Scale, Shift []float32
+
+	// FusedReLU is set by the compiler when a following ReLU was folded into
+	// this node (the DPU applies activation on the conv write-back path).
+	FusedReLU bool
+
+	// Inferred output shape (single image, CHW).
+	OutShape [3]int
+}
+
+// Graph is a topologically-ordered operator list with one input and one
+// output.
+type Graph struct {
+	Nodes  []*Node
+	byName map[string]*Node
+
+	InputName  string
+	OutputName string
+
+	// Input image geometry (single image, CHW).
+	InC, InH, InW int
+}
+
+// New constructs an empty graph for the given input geometry.
+func New(inC, inH, inW int) *Graph {
+	g := &Graph{byName: make(map[string]*Node), InC: inC, InH: inH, InW: inW}
+	in := &Node{Name: "input", Kind: KindInput, OutC: inC}
+	g.add(in)
+	g.InputName = in.Name
+	return g
+}
+
+func (g *Graph) add(n *Node) {
+	if _, dup := g.byName[n.Name]; dup {
+		panic(fmt.Sprintf("graph: duplicate node name %q", n.Name))
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.byName[n.Name] = n
+}
+
+// Add appends a node; inputs must already exist (topological order).
+func (g *Graph) Add(n *Node) *Node {
+	for _, in := range n.Inputs {
+		if _, ok := g.byName[in]; !ok {
+			panic(fmt.Sprintf("graph: node %q references unknown input %q", n.Name, in))
+		}
+	}
+	g.add(n)
+	g.OutputName = n.Name
+	return n
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.byName[name] }
+
+// Output returns the output node.
+func (g *Graph) Output() *Node { return g.byName[g.OutputName] }
+
+// Validate checks topological ordering, arity and attribute sanity.
+func (g *Graph) Validate() error {
+	seen := make(map[string]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("graph: node %d has no name", i)
+		}
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("graph: node %q uses input %q before its definition", n.Name, in)
+			}
+		}
+		switch n.Kind {
+		case KindInput:
+			if len(n.Inputs) != 0 {
+				return fmt.Errorf("graph: input node %q must have no inputs", n.Name)
+			}
+		case KindConcat:
+			if len(n.Inputs) != 2 {
+				return fmt.Errorf("graph: concat node %q needs exactly 2 inputs, has %d", n.Name, len(n.Inputs))
+			}
+		case KindConv, KindConvTranspose:
+			if len(n.Inputs) != 1 {
+				return fmt.Errorf("graph: %s node %q needs exactly 1 input", n.Kind, n.Name)
+			}
+			if n.Weight == nil {
+				return fmt.Errorf("graph: %s node %q has no weights", n.Kind, n.Name)
+			}
+			if n.Kernel < 1 || n.Stride < 1 {
+				return fmt.Errorf("graph: %s node %q has invalid kernel/stride %d/%d", n.Kind, n.Name, n.Kernel, n.Stride)
+			}
+		default:
+			if len(n.Inputs) != 1 {
+				return fmt.Errorf("graph: %s node %q needs exactly 1 input", n.Kind, n.Name)
+			}
+		}
+		seen[n.Name] = true
+	}
+	if g.OutputName == "" {
+		return fmt.Errorf("graph: no output node")
+	}
+	return nil
+}
+
+// InferShapes computes OutShape for every node given the graph's input
+// geometry. It must be called before Forward, quantization or compilation.
+func (g *Graph) InferShapes() error {
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindInput:
+			n.OutShape = [3]int{g.InC, g.InH, g.InW}
+		case KindConv:
+			in := g.byName[n.Inputs[0]].OutShape
+			if in[0] != n.InC {
+				return fmt.Errorf("graph: conv %q expects %d channels, input %q provides %d", n.Name, n.InC, n.Inputs[0], in[0])
+			}
+			oh := tensor.ConvOutSize(in[1], n.Kernel, n.Stride, n.Pad)
+			ow := tensor.ConvOutSize(in[2], n.Kernel, n.Stride, n.Pad)
+			n.OutShape = [3]int{n.OutC, oh, ow}
+		case KindConvTranspose:
+			in := g.byName[n.Inputs[0]].OutShape
+			if in[0] != n.InC {
+				return fmt.Errorf("graph: conv-transpose %q expects %d channels, input %q provides %d", n.Name, n.InC, n.Inputs[0], in[0])
+			}
+			oh := tensor.ConvTransposeOutSize(in[1], n.Kernel, n.Stride, n.Pad, n.OutPad)
+			ow := tensor.ConvTransposeOutSize(in[2], n.Kernel, n.Stride, n.Pad, n.OutPad)
+			n.OutShape = [3]int{n.OutC, oh, ow}
+		case KindMaxPool:
+			in := g.byName[n.Inputs[0]].OutShape
+			n.OutShape = [3]int{in[0], in[1] / 2, in[2] / 2}
+		case KindConcat:
+			a := g.byName[n.Inputs[0]].OutShape
+			b := g.byName[n.Inputs[1]].OutShape
+			if a[1] != b[1] || a[2] != b[2] {
+				return fmt.Errorf("graph: concat %q spatial mismatch %v vs %v", n.Name, a, b)
+			}
+			n.OutShape = [3]int{a[0] + b[0], a[1], a[2]}
+		default: // BatchNorm, ReLU, Dropout, Softmax preserve shape.
+			n.OutShape = g.byName[n.Inputs[0]].OutShape
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seneca/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// buildChain assembles input→conv→bn→relu→pool→softmax.
+func buildChain(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := New(2, 8, 8)
+	g.Add(&Node{
+		Name: "c1", Kind: KindConv, Inputs: []string{"input"},
+		Kernel: 3, Stride: 1, Pad: 1, InC: 2, OutC: 4,
+		Weight: randTensor(rng, 4, 2, 3, 3),
+		Bias:   []float32{0.1, -0.1, 0.2, 0},
+	})
+	g.Add(&Node{
+		Name: "bn1", Kind: KindBatchNorm, Inputs: []string{"c1"},
+		Scale: []float32{1, 0.5, 2, 1}, Shift: []float32{0, 0.1, -0.1, 0},
+	})
+	g.Add(&Node{Name: "r1", Kind: KindReLU, Inputs: []string{"bn1"}})
+	g.Add(&Node{Name: "p1", Kind: KindMaxPool, Inputs: []string{"r1"}})
+	g.Add(&Node{Name: "sm", Kind: KindSoftmax, Inputs: []string{"p1"}})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidateAndShapes(t *testing.T) {
+	g := buildChain(t)
+	if got := g.Node("c1").OutShape; got != [3]int{4, 8, 8} {
+		t.Fatalf("conv shape %v", got)
+	}
+	if got := g.Node("p1").OutShape; got != [3]int{4, 4, 4} {
+		t.Fatalf("pool shape %v", got)
+	}
+	if g.Output().Name != "sm" {
+		t.Fatalf("output %q", g.Output().Name)
+	}
+}
+
+func TestValidateRejectsForwardReference(t *testing.T) {
+	g := New(1, 4, 4)
+	g.Nodes = append(g.Nodes, &Node{Name: "bad", Kind: KindReLU, Inputs: []string{"later"}})
+	g.byName["bad"] = g.Nodes[len(g.Nodes)-1]
+	g.OutputName = "bad"
+	if err := g.Validate(); err == nil {
+		t.Fatal("forward reference accepted")
+	}
+}
+
+func TestAddPanicsOnUnknownInput(t *testing.T) {
+	g := New(1, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown input accepted")
+		}
+	}()
+	g.Add(&Node{Name: "x", Kind: KindReLU, Inputs: []string{"ghost"}})
+}
+
+func TestAddPanicsOnDuplicateName(t *testing.T) {
+	g := New(1, 4, 4)
+	g.Add(&Node{Name: "a", Kind: KindReLU, Inputs: []string{"input"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name accepted")
+		}
+	}()
+	g.Add(&Node{Name: "a", Kind: KindReLU, Inputs: []string{"input"}})
+}
+
+func TestForwardExecutesChain(t *testing.T) {
+	g := buildChain(t)
+	rng := rand.New(rand.NewSource(2))
+	img := randTensor(rng, 2, 8, 8)
+	var taps int
+	out, err := g.Forward(img, func(*Node, *tensor.Tensor) { taps++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taps != len(g.Nodes) {
+		t.Fatalf("tap called %d times for %d nodes", taps, len(g.Nodes))
+	}
+	if out.Shape[0] != 4 || out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	// Softmax output: per-pixel probabilities.
+	for pix := 0; pix < 16; pix++ {
+		var sum float64
+		for c := 0; c < 4; c++ {
+			sum += float64(out.Data[c*16+pix])
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("pixel %d probabilities sum %v", pix, sum)
+		}
+	}
+}
+
+func TestForwardRejectsWrongShape(t *testing.T) {
+	g := buildChain(t)
+	if _, err := g.Forward(tensor.New(1, 8, 8), nil); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+	if _, err := g.Forward(tensor.New(2, 4, 4), nil); err == nil {
+		t.Fatal("wrong spatial size accepted")
+	}
+}
+
+func TestConcatShapeInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(1, 4, 4)
+	g.Add(&Node{
+		Name: "a", Kind: KindConv, Inputs: []string{"input"},
+		Kernel: 1, Stride: 1, Pad: 0, InC: 1, OutC: 2,
+		Weight: randTensor(rng, 2, 1, 1, 1),
+	})
+	g.Add(&Node{
+		Name: "b", Kind: KindConv, Inputs: []string{"input"},
+		Kernel: 1, Stride: 1, Pad: 0, InC: 1, OutC: 3,
+		Weight: randTensor(rng, 3, 1, 1, 1),
+	})
+	g.Add(&Node{Name: "cat", Kind: KindConcat, Inputs: []string{"a", "b"}})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Node("cat").OutShape; got != [3]int{5, 4, 4} {
+		t.Fatalf("concat shape %v", got)
+	}
+	out, err := g.Forward(randTensor(rng, 1, 4, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[0] != 5 {
+		t.Fatalf("concat exec shape %v", out.Shape)
+	}
+}
+
+func TestConvTransposeShapeAndExec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := New(2, 4, 4)
+	g.Add(&Node{
+		Name: "up", Kind: KindConvTranspose, Inputs: []string{"input"},
+		Kernel: 3, Stride: 2, Pad: 1, OutPad: 1, InC: 2, OutC: 3,
+		Weight: randTensor(rng, 2, 3, 3, 3),
+		Bias:   []float32{0, 0, 0},
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Node("up").OutShape; got != [3]int{3, 8, 8} {
+		t.Fatalf("transpose shape %v", got)
+	}
+	out, err := g.Forward(randTensor(rng, 2, 4, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[1] != 8 || out.Shape[2] != 8 {
+		t.Fatalf("exec shape %v", out.Shape)
+	}
+}
+
+func TestChannelMismatchDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(1, 4, 4)
+	g.Add(&Node{
+		Name: "c", Kind: KindConv, Inputs: []string{"input"},
+		Kernel: 3, Stride: 1, Pad: 1, InC: 7, OutC: 2, // wrong InC
+		Weight: randTensor(rng, 2, 7, 3, 3),
+	})
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("channel mismatch not detected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindConv.String() != "conv" || KindSoftmax.String() != "softmax" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}

@@ -1,0 +1,158 @@
+// Package imaging provides the image pre-processing steps of the SENECA
+// pipeline (paper Section III-A): downsampling 512×512 CT slices to 256×256,
+// contrast adjustment by saturating the upper and lower 1% of pixels, and
+// rescaling intensities to the [-1, 1] interval.
+package imaging
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ResizeBilinear resamples a row-major h×w single-channel image to oh×ow
+// using bilinear interpolation with edge clamping.
+func ResizeBilinear(src []float32, h, w, oh, ow int) []float32 {
+	if len(src) != h*w {
+		panic(fmt.Sprintf("imaging: source length %d for %d×%d image", len(src), h, w))
+	}
+	dst := make([]float32, oh*ow)
+	if oh == h && ow == w {
+		copy(dst, src)
+		return dst
+	}
+	// Align centers: scale by the size ratio, sampling at pixel centers.
+	sy := float64(h) / float64(oh)
+	sx := float64(w) / float64(ow)
+	for oy := 0; oy < oh; oy++ {
+		fy := (float64(oy)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			y0 = 0
+			fy = 0
+		}
+		y1 := y0 + 1
+		if y1 >= h {
+			y1 = h - 1
+		}
+		wy := float32(fy - float64(y0))
+		for ox := 0; ox < ow; ox++ {
+			fx := (float64(ox)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				x0 = 0
+				fx = 0
+			}
+			x1 := x0 + 1
+			if x1 >= w {
+				x1 = w - 1
+			}
+			wx := float32(fx - float64(x0))
+			v00 := src[y0*w+x0]
+			v01 := src[y0*w+x1]
+			v10 := src[y1*w+x0]
+			v11 := src[y1*w+x1]
+			top := v00 + (v01-v00)*wx
+			bot := v10 + (v11-v10)*wx
+			dst[oy*ow+ox] = top + (bot-top)*wy
+		}
+	}
+	return dst
+}
+
+// ResizeNearestLabels resamples a label image with nearest-neighbor
+// sampling, which preserves class indices exactly.
+func ResizeNearestLabels(src []uint8, h, w, oh, ow int) []uint8 {
+	if len(src) != h*w {
+		panic(fmt.Sprintf("imaging: source length %d for %d×%d image", len(src), h, w))
+	}
+	dst := make([]uint8, oh*ow)
+	for oy := 0; oy < oh; oy++ {
+		iy := (oy*2 + 1) * h / (oh * 2)
+		if iy >= h {
+			iy = h - 1
+		}
+		for ox := 0; ox < ow; ox++ {
+			ix := (ox*2 + 1) * w / (ow * 2)
+			if ix >= w {
+				ix = w - 1
+			}
+			dst[oy*ow+ox] = src[iy*w+ix]
+		}
+	}
+	return dst
+}
+
+// SaturatePercentiles clips intensities below the pLow quantile and above
+// the pHigh quantile (e.g. 0.01 and 0.99 for the paper's "upper 1% and lower
+// 1%" saturation) and returns the clip bounds used. The input is modified in
+// place.
+func SaturatePercentiles(img []float32, pLow, pHigh float64) (lo, hi float32) {
+	if len(img) == 0 {
+		return 0, 0
+	}
+	if pLow < 0 || pHigh > 1 || pLow >= pHigh {
+		panic(fmt.Sprintf("imaging: invalid percentiles %v, %v", pLow, pHigh))
+	}
+	sorted := make([]float32, len(img))
+	copy(sorted, img)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lo = quantile(sorted, pLow)
+	hi = quantile(sorted, pHigh)
+	for i, v := range img {
+		if v < lo {
+			img[i] = lo
+		} else if v > hi {
+			img[i] = hi
+		}
+	}
+	return lo, hi
+}
+
+func quantile(sorted []float32, q float64) float32 {
+	idx := q * float64(len(sorted)-1)
+	i := int(idx)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := float32(idx - float64(i))
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// RescaleToUnit linearly maps the image's [min, max] range onto [-1, 1] in
+// place. A constant image maps to all zeros.
+func RescaleToUnit(img []float32) {
+	if len(img) == 0 {
+		return
+	}
+	mn, mx := img[0], img[0]
+	for _, v := range img[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == mn {
+		for i := range img {
+			img[i] = 0
+		}
+		return
+	}
+	// Compute in float64: extreme float32 ranges (|mx−mn| > MaxFloat32)
+	// overflow to Inf and poison the whole image otherwise.
+	lo, scale := float64(mn), 2/(float64(mx)-float64(mn))
+	for i, v := range img {
+		img[i] = float32((float64(v)-lo)*scale - 1)
+	}
+}
+
+// Preprocess applies the full SENECA input pipeline to one CT slice:
+// bilinear downsample from h×w to size×size, 1%/99% contrast saturation,
+// and [-1, 1] rescaling. The returned image is a fresh allocation.
+func Preprocess(src []float32, h, w, size int) []float32 {
+	img := ResizeBilinear(src, h, w, size, size)
+	SaturatePercentiles(img, 0.01, 0.99)
+	RescaleToUnit(img)
+	return img
+}

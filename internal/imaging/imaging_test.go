@@ -1,0 +1,181 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeBilinearIdentity(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	dst := ResizeBilinear(src, 2, 2, 2, 2)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("identity resize changed pixel %d: %v", i, dst[i])
+		}
+	}
+}
+
+func TestResizeBilinearConstantImage(t *testing.T) {
+	src := make([]float32, 64*64)
+	for i := range src {
+		src[i] = 7
+	}
+	dst := ResizeBilinear(src, 64, 64, 32, 32)
+	for i, v := range dst {
+		if math.Abs(float64(v-7)) > 1e-6 {
+			t.Fatalf("constant image not preserved at %d: %v", i, v)
+		}
+	}
+}
+
+func TestResizeBilinearPreservesMeanApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 64*64)
+	var mean float64
+	for i := range src {
+		src[i] = float32(rng.Float64())
+		mean += float64(src[i])
+	}
+	mean /= float64(len(src))
+	dst := ResizeBilinear(src, 64, 64, 32, 32)
+	var dmean float64
+	for _, v := range dst {
+		dmean += float64(v)
+	}
+	dmean /= float64(len(dst))
+	if math.Abs(dmean-mean) > 0.02 {
+		t.Fatalf("downsample mean %v vs source %v", dmean, mean)
+	}
+}
+
+func TestResizeBilinearGradientImage(t *testing.T) {
+	// A linear ramp must stay a linear ramp under bilinear resampling.
+	h, w := 8, 8
+	src := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			src[y*w+x] = float32(x)
+		}
+	}
+	dst := ResizeBilinear(src, h, w, 4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 1; x < 4; x++ {
+			d := dst[y*4+x] - dst[y*4+x-1]
+			if math.Abs(float64(d-2)) > 1e-5 {
+				t.Fatalf("ramp step at (%d,%d) = %v, want 2", y, x, d)
+			}
+		}
+	}
+}
+
+func TestResizeNearestLabelsPreservesClasses(t *testing.T) {
+	src := []uint8{0, 1, 2, 3}
+	dst := ResizeNearestLabels(src, 2, 2, 4, 4)
+	seen := map[uint8]bool{}
+	for _, v := range dst {
+		seen[v] = true
+	}
+	for c := uint8(0); c < 4; c++ {
+		if !seen[c] {
+			t.Fatalf("class %d lost in upsample: %v", c, dst)
+		}
+	}
+	// Downsample never invents classes.
+	back := ResizeNearestLabels(dst, 4, 4, 2, 2)
+	for _, v := range back {
+		if v > 3 {
+			t.Fatalf("invented class %d", v)
+		}
+	}
+}
+
+func TestSaturatePercentiles(t *testing.T) {
+	img := make([]float32, 100)
+	for i := range img {
+		img[i] = float32(i)
+	}
+	lo, hi := SaturatePercentiles(img, 0.05, 0.95)
+	if lo < 4 || lo > 6 || hi < 93 || hi > 95.1 {
+		t.Fatalf("clip bounds %v, %v", lo, hi)
+	}
+	for _, v := range img {
+		if v < lo || v > hi {
+			t.Fatalf("value %v outside clip bounds", v)
+		}
+	}
+}
+
+func TestRescaleToUnit(t *testing.T) {
+	img := []float32{-500, 0, 500}
+	RescaleToUnit(img)
+	if img[0] != -1 || img[2] != 1 || math.Abs(float64(img[1])) > 1e-6 {
+		t.Fatalf("rescale result %v", img)
+	}
+	flat := []float32{3, 3, 3}
+	RescaleToUnit(flat)
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatalf("constant image should rescale to 0, got %v", v)
+		}
+	}
+}
+
+func TestRescalePropertyBounds(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		img := make([]float32, len(raw))
+		for i, v := range raw {
+			if v != v || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			img[i] = v
+		}
+		RescaleToUnit(img)
+		for _, v := range img {
+			if v < -1.0001 || v > 1.0001 || v != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreprocessPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float32, 128*128)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64()*300 - 200)
+	}
+	out := Preprocess(src, 128, 128, 64)
+	if len(out) != 64*64 {
+		t.Fatalf("output length %d", len(out))
+	}
+	mn, mx := out[0], out[0]
+	for _, v := range out {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mn != -1 || mx != 1 {
+		t.Fatalf("preprocessed range [%v, %v], want [-1, 1]", mn, mx)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid percentiles must panic")
+		}
+	}()
+	SaturatePercentiles([]float32{1, 2}, 0.9, 0.1)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// square draws a filled square of the class on an h×w mask.
+func square(h, w, y0, x0, side int, class uint8) []uint8 {
+	m := make([]uint8, h*w)
+	for y := y0; y < y0+side; y++ {
+		for x := x0; x < x0+side; x++ {
+			m[y*w+x] = class
+		}
+	}
+	return m
+}
+
+func TestSurfaceDistancesIdenticalMasks(t *testing.T) {
+	m := square(16, 16, 4, 4, 6, 1)
+	hd, assd := SurfaceDistances(m, m, 16, 16, 1)
+	if hd != 0 || assd != 0 {
+		t.Fatalf("identical masks: HD95 %v, ASSD %v", hd, assd)
+	}
+}
+
+func TestSurfaceDistancesShiftedSquare(t *testing.T) {
+	a := square(32, 32, 8, 8, 8, 1)
+	b := square(32, 32, 8, 11, 8, 1) // shifted 3 px right
+	hd, assd := SurfaceDistances(a, b, 32, 32, 1)
+	if hd < 2 || hd > 4 {
+		t.Fatalf("HD95 %v for a 3-pixel shift", hd)
+	}
+	if assd <= 0 || assd > 3 {
+		t.Fatalf("ASSD %v for a 3-pixel shift", assd)
+	}
+}
+
+func TestSurfaceDistancesMissedOrgan(t *testing.T) {
+	empty := make([]uint8, 16*16)
+	gt := square(16, 16, 4, 4, 4, 2)
+	hd, assd := SurfaceDistances(empty, gt, 16, 16, 2)
+	if !math.IsInf(hd, 1) || !math.IsInf(assd, 1) {
+		t.Fatalf("missed organ must be infinite: %v, %v", hd, assd)
+	}
+	// Both empty → zero.
+	hd, assd = SurfaceDistances(empty, empty, 16, 16, 2)
+	if hd != 0 || assd != 0 {
+		t.Fatalf("both-empty case: %v, %v", hd, assd)
+	}
+}
+
+func TestSurfaceDistancesSymmetric(t *testing.T) {
+	a := square(32, 32, 5, 5, 10, 1)
+	b := square(32, 32, 9, 9, 7, 1)
+	hdAB, assdAB := SurfaceDistances(a, b, 32, 32, 1)
+	hdBA, assdBA := SurfaceDistances(b, a, 32, 32, 1)
+	if math.Abs(hdAB-hdBA) > 1e-12 || math.Abs(assdAB-assdBA) > 1e-12 {
+		t.Fatalf("surface distances not symmetric: (%v,%v) vs (%v,%v)", hdAB, assdAB, hdBA, assdBA)
+	}
+}
+
+func TestBoundaryPixelsHollow(t *testing.T) {
+	// A 4×4 square has 12 boundary pixels (interior 2×2 excluded).
+	m := square(16, 16, 4, 4, 4, 1)
+	b := boundaryPixels(m, 16, 16, 1)
+	if len(b) != 12 {
+		t.Fatalf("%d boundary pixels, want 12", len(b))
+	}
+}
+
+func TestBoundaryAtImageEdge(t *testing.T) {
+	// A class touching the image border counts its border pixels as
+	// boundary even without a neighboring other class.
+	m := make([]uint8, 4*4)
+	for i := range m {
+		m[i] = 1
+	}
+	b := boundaryPixels(m, 4, 4, 1)
+	if len(b) != 12 { // all but the 2×2 interior
+		t.Fatalf("%d boundary pixels, want 12", len(b))
+	}
+}

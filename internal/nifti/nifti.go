@@ -1,0 +1,286 @@
+// Package nifti implements a minimal reader and writer for the NIfTI-1
+// neuro-imaging container format — the format the CT-ORG dataset ships its
+// CT volumes and ground-truth label volumes in (paper Section III-A). Only
+// the features those volumes need are supported: single-file .nii images,
+// 3D dimensions, int16/float32/uint8 data, little-endian, and the
+// scl_slope/scl_inter intensity scaling used for Hounsfield units.
+package nifti
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Datatype codes from the NIfTI-1 standard (the subset we support).
+const (
+	DTUint8   int16 = 2
+	DTInt16   int16 = 4
+	DTFloat32 int16 = 16
+)
+
+const (
+	headerSize = 348
+	voxOffset  = 352 // header + 4-byte extension flag
+	magic      = "n+1\x00"
+)
+
+// Volume is a 3D image with float32 voxels (after scl scaling) plus the
+// storage datatype used on disk.
+type Volume struct {
+	// Nx, Ny, Nz are the volume dimensions: Nx columns, Ny rows, Nz slices.
+	Nx, Ny, Nz int
+	// Data holds voxels in x-fastest order: Data[(z*Ny+y)*Nx+x].
+	Data []float32
+	// Datatype is the on-disk element type (DTUint8, DTInt16 or DTFloat32).
+	Datatype int16
+	// PixDim are the voxel physical dimensions in mm (dx, dy, dz).
+	PixDim [3]float32
+}
+
+// NewVolume allocates a zero volume with the given dimensions and datatype.
+func NewVolume(nx, ny, nz int, datatype int16) *Volume {
+	return &Volume{
+		Nx: nx, Ny: ny, Nz: nz,
+		Data:     make([]float32, nx*ny*nz),
+		Datatype: datatype,
+		PixDim:   [3]float32{1, 1, 1},
+	}
+}
+
+// At returns the voxel at (x, y, z).
+func (v *Volume) At(x, y, z int) float32 { return v.Data[(z*v.Ny+y)*v.Nx+x] }
+
+// Set stores a voxel at (x, y, z).
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[(z*v.Ny+y)*v.Nx+x] = val }
+
+// Slice returns a copy of axial slice z as a row-major Ny×Nx image.
+func (v *Volume) Slice(z int) []float32 {
+	out := make([]float32, v.Nx*v.Ny)
+	copy(out, v.Data[z*v.Nx*v.Ny:(z+1)*v.Nx*v.Ny])
+	return out
+}
+
+// header mirrors the fixed NIfTI-1 header layout.
+type header struct {
+	SizeofHdr    int32
+	DataType     [10]byte
+	DBName       [18]byte
+	Extents      int32
+	SessionError int16
+	Regular      byte
+	DimInfo      byte
+	Dim          [8]int16
+	IntentP1     float32
+	IntentP2     float32
+	IntentP3     float32
+	IntentCode   int16
+	Datatype     int16
+	Bitpix       int16
+	SliceStart   int16
+	Pixdim       [8]float32
+	VoxOffset    float32
+	SclSlope     float32
+	SclInter     float32
+	SliceEnd     int16
+	SliceCode    byte
+	XyztUnits    byte
+	CalMax       float32
+	CalMin       float32
+	SliceDur     float32
+	Toffset      float32
+	Glmax        int32
+	Glmin        int32
+	Descrip      [80]byte
+	AuxFile      [24]byte
+	QformCode    int16
+	SformCode    int16
+	QuaternB     float32
+	QuaternC     float32
+	QuaternD     float32
+	QoffsetX     float32
+	QoffsetY     float32
+	QoffsetZ     float32
+	SrowX        [4]float32
+	SrowY        [4]float32
+	SrowZ        [4]float32
+	IntentName   [16]byte
+	Magic        [4]byte
+}
+
+func bitpix(datatype int16) (int16, error) {
+	switch datatype {
+	case DTUint8:
+		return 8, nil
+	case DTInt16:
+		return 16, nil
+	case DTFloat32:
+		return 32, nil
+	default:
+		return 0, fmt.Errorf("nifti: unsupported datatype %d", datatype)
+	}
+}
+
+// Write serializes the volume as a single-file NIfTI-1 image.
+func Write(w io.Writer, v *Volume) error {
+	bp, err := bitpix(v.Datatype)
+	if err != nil {
+		return err
+	}
+	var h header
+	h.SizeofHdr = headerSize
+	h.Regular = 'r'
+	h.Dim = [8]int16{3, int16(v.Nx), int16(v.Ny), int16(v.Nz), 1, 1, 1, 1}
+	h.Datatype = v.Datatype
+	h.Bitpix = bp
+	h.Pixdim = [8]float32{1, v.PixDim[0], v.PixDim[1], v.PixDim[2], 1, 1, 1, 1}
+	h.VoxOffset = voxOffset
+	h.SclSlope = 1
+	h.XyztUnits = 2 // millimeters
+	copy(h.Descrip[:], "seneca-go phantom volume")
+	copy(h.Magic[:], magic)
+	if err := binary.Write(w, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("nifti: writing header: %w", err)
+	}
+	// Extension flag: none.
+	if _, err := w.Write(make([]byte, voxOffset-headerSize)); err != nil {
+		return fmt.Errorf("nifti: writing extension flag: %w", err)
+	}
+	return writeVoxels(w, v)
+}
+
+func writeVoxels(w io.Writer, v *Volume) error {
+	switch v.Datatype {
+	case DTUint8:
+		buf := make([]byte, len(v.Data))
+		for i, f := range v.Data {
+			buf[i] = uint8(clamp(f, 0, 255))
+		}
+		_, err := w.Write(buf)
+		return err
+	case DTInt16:
+		buf := make([]byte, 2*len(v.Data))
+		for i, f := range v.Data {
+			binary.LittleEndian.PutUint16(buf[2*i:], uint16(int16(clamp(f, -32768, 32767))))
+		}
+		_, err := w.Write(buf)
+		return err
+	case DTFloat32:
+		buf := make([]byte, 4*len(v.Data))
+		for i, f := range v.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+		}
+		_, err := w.Write(buf)
+		return err
+	}
+	return fmt.Errorf("nifti: unsupported datatype %d", v.Datatype)
+}
+
+func clamp(f, lo, hi float32) float32 {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}
+
+// Read parses a single-file NIfTI-1 image written by Write (or any
+// little-endian .nii with a supported datatype).
+func Read(r io.Reader) (*Volume, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("nifti: reading header: %w", err)
+	}
+	if h.SizeofHdr != headerSize {
+		return nil, fmt.Errorf("nifti: bad header size %d (big-endian or not NIfTI-1?)", h.SizeofHdr)
+	}
+	if string(h.Magic[:]) != magic {
+		return nil, fmt.Errorf("nifti: bad magic %q (two-file .hdr/.img not supported)", h.Magic)
+	}
+	if h.Dim[0] < 3 {
+		return nil, fmt.Errorf("nifti: %d-dimensional image, want 3", h.Dim[0])
+	}
+	nx, ny, nz := int(h.Dim[1]), int(h.Dim[2]), int(h.Dim[3])
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("nifti: invalid dimensions %d×%d×%d", nx, ny, nz)
+	}
+	if _, err := bitpix(h.Datatype); err != nil {
+		return nil, err
+	}
+	// Skip to voxel data.
+	skip := int(h.VoxOffset) - headerSize
+	if skip < 0 {
+		return nil, fmt.Errorf("nifti: vox_offset %v before end of header", h.VoxOffset)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(skip)); err != nil {
+		return nil, fmt.Errorf("nifti: skipping to voxels: %w", err)
+	}
+	v := NewVolume(nx, ny, nz, h.Datatype)
+	v.PixDim = [3]float32{h.Pixdim[1], h.Pixdim[2], h.Pixdim[3]}
+	slope, inter := h.SclSlope, h.SclInter
+	if slope == 0 {
+		slope = 1
+	}
+	if err := readVoxels(r, v, slope, inter); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func readVoxels(r io.Reader, v *Volume, slope, inter float32) error {
+	n := len(v.Data)
+	switch v.Datatype {
+	case DTUint8:
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nifti: reading voxels: %w", err)
+		}
+		for i, b := range buf {
+			v.Data[i] = float32(b)*slope + inter
+		}
+	case DTInt16:
+		buf := make([]byte, 2*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nifti: reading voxels: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			v.Data[i] = float32(int16(binary.LittleEndian.Uint16(buf[2*i:])))*slope + inter
+		}
+	case DTFloat32:
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nifti: reading voxels: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))*slope + inter
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the volume to path.
+func WriteFile(path string, v *Volume) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, v); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a volume from path.
+func ReadFile(path string) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,153 @@
+package nifti
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTripFloat32(t *testing.T) {
+	v := NewVolume(5, 4, 3, DTFloat32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range v.Data {
+		v.Data[i] = float32(rng.NormFloat64() * 100)
+	}
+	v.PixDim = [3]float32{0.8, 0.8, 2.5}
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nx != 5 || got.Ny != 4 || got.Nz != 3 {
+		t.Fatalf("dims %d×%d×%d", got.Nx, got.Ny, got.Nz)
+	}
+	if got.PixDim != v.PixDim {
+		t.Fatalf("pixdim %v", got.PixDim)
+	}
+	for i := range v.Data {
+		if got.Data[i] != v.Data[i] {
+			t.Fatalf("voxel %d: %v vs %v", i, got.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestRoundTripInt16Clamps(t *testing.T) {
+	v := NewVolume(2, 2, 1, DTInt16)
+	v.Data = []float32{-40000, -1000.4, 1000.6, 40000}
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{-32768, -1000, 1000, 32767}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("voxel %d: %v, want %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripUint8(t *testing.T) {
+	v := NewVolume(3, 3, 2, DTUint8)
+	for i := range v.Data {
+		v.Data[i] = float32(i % 6)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		if got.Data[i] != v.Data[i] {
+			t.Fatalf("voxel %d: %v vs %v", i, got.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestHeaderSizeIs348(t *testing.T) {
+	v := NewVolume(1, 1, 1, DTUint8)
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	// 348 header + 4 extension + 1 voxel.
+	if buf.Len() != 353 {
+		t.Fatalf("file size %d, want 353 (NIfTI-1 layout)", buf.Len())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(make([]byte, 400))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("short"))); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestUnsupportedDatatype(t *testing.T) {
+	v := NewVolume(1, 1, 1, 99)
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err == nil {
+		t.Fatal("unsupported datatype accepted")
+	}
+}
+
+func TestSliceAndAccessors(t *testing.T) {
+	v := NewVolume(2, 2, 2, DTFloat32)
+	v.Set(0, 1, 1, 42)
+	if v.At(0, 1, 1) != 42 {
+		t.Fatal("Set/At mismatch")
+	}
+	s := v.Slice(1)
+	if len(s) != 4 || s[2] != 42 {
+		t.Fatalf("Slice = %v", s)
+	}
+	// Slice returns a copy.
+	s[0] = 9
+	if v.At(0, 0, 1) == 9 {
+		t.Fatal("Slice must copy")
+	}
+}
+
+func TestSclSlopeApplied(t *testing.T) {
+	// Hand-craft a file with scl_slope=2, scl_inter=10.
+	v := NewVolume(1, 1, 1, DTInt16)
+	v.Data[0] = 5
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// scl_slope at offset 112, scl_inter at 116 (NIfTI-1 layout).
+	putF32 := func(off int, f float32) {
+		bits := uint32(0)
+		if f == 2 {
+			bits = 0x40000000
+		} else if f == 10 {
+			bits = 0x41200000
+		}
+		raw[off] = byte(bits)
+		raw[off+1] = byte(bits >> 8)
+		raw[off+2] = byte(bits >> 16)
+		raw[off+3] = byte(bits >> 24)
+	}
+	putF32(112, 2)
+	putF32(116, 10)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 20 { // 5*2 + 10
+		t.Fatalf("scaled voxel %v, want 20", got.Data[0])
+	}
+}

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seneca/internal/tensor"
+)
+
+// scalarLoss is a fixed random linear functional L(y) = Σ c·y used to turn a
+// layer output into a scalar for finite-difference gradient checking.
+type scalarLoss struct{ c *tensor.Tensor }
+
+func newScalarLoss(rng *rand.Rand, shape []int) *scalarLoss {
+	c := tensor.New(shape...)
+	for i := range c.Data {
+		c.Data[i] = float32(rng.NormFloat64())
+	}
+	return &scalarLoss{c: c}
+}
+
+func (s *scalarLoss) value(y *tensor.Tensor) float64 {
+	var sum float64
+	for i := range y.Data {
+		sum += float64(s.c.Data[i]) * float64(y.Data[i])
+	}
+	return sum
+}
+
+// grad returns dL/dy = c.
+func (s *scalarLoss) grad() *tensor.Tensor { return s.c.Clone() }
+
+// checkGrad compares the analytic gradient of every parameter (and the
+// input) against central finite differences.
+func checkGrad(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+
+	forward := func() *tensor.Tensor { return layer.Forward(x, true) }
+	y := forward()
+	loss := newScalarLoss(rng, y.Shape)
+
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	gradIn := layer.Backward(loss.grad())
+
+	const eps = 1e-3
+	checkOne := func(name string, data []float32, analytic []float32, idx int) {
+		t.Helper()
+		orig := data[idx]
+		data[idx] = orig + eps
+		lp := loss.value(forward())
+		data[idx] = orig - eps
+		lm := loss.value(forward())
+		data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		got := float64(analytic[idx])
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+		if math.Abs(numeric-got)/scale > tol {
+			t.Errorf("%s[%d]: analytic %v vs numeric %v", name, idx, got, numeric)
+		}
+	}
+
+	for _, p := range layer.Params() {
+		n := p.Numel()
+		stride := n/7 + 1 // probe a handful of entries
+		for idx := 0; idx < n; idx += stride {
+			checkOne(p.Name, p.Value.Data, p.Grad.Data, idx)
+		}
+	}
+	n := x.Len()
+	stride := n/7 + 1
+	for idx := 0; idx < n; idx += stride {
+		checkOne("input", x.Data, gradIn.Data, idx)
+	}
+}
+
+func TestConv2DGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv2D("c", 2, 3, 3, 1, 1, rng, nil)
+	x := tensor.New(2, 2, 5, 5)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	checkGrad(t, layer, x, 2e-2)
+}
+
+func TestConv2DStridedGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewConv2D("c", 1, 2, 3, 2, 1, rng, nil)
+	x := tensor.New(1, 1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	checkGrad(t, layer, x, 2e-2)
+}
+
+func TestConvTranspose2DGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewConvTranspose2D("ct", 3, 2, 3, 2, 1, 1, rng, nil)
+	x := tensor.New(2, 3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	checkGrad(t, layer, x, 2e-2)
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := NewBatchNorm2D("bn", 3)
+	x := tensor.New(2, 3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())*2 + 1
+	}
+	// Batch-norm's running-stat update makes repeated forwards non-idempotent
+	// for the stats but the train-mode output only depends on batch stats,
+	// so finite differencing is still valid.
+	checkGrad(t, layer, x, 3e-2)
+}
+
+func TestReLUGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	layer := NewReLU("r")
+	x := tensor.New(1, 2, 4, 4)
+	for i := range x.Data {
+		// Keep values away from the kink where finite differences lie.
+		v := float32(rng.NormFloat64())
+		if v > -0.05 && v < 0.05 {
+			v += 0.2
+		}
+		x.Data[i] = v
+	}
+	checkGrad(t, layer, x, 1e-2)
+}
+
+func TestMaxPoolGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	layer := NewMaxPool2D("p")
+	x := tensor.New(1, 2, 4, 4)
+	perm := rng.Perm(len(x.Data))
+	for i := range x.Data {
+		// Distinct values so the argmax is stable under ±eps probing.
+		x.Data[i] = float32(perm[i])
+	}
+	checkGrad(t, layer, x, 1e-2)
+}
+
+func TestSoftmaxGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layer := NewSoftmax("s")
+	x := tensor.New(1, 4, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	checkGrad(t, layer, x, 2e-2)
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	d := NewDropout("d", 0.5, 42)
+	x := tensor.New(1, 1, 32, 32)
+	x.Fill(1)
+	// Eval: identity.
+	y := d.Forward(x, false)
+	for _, v := range y.Data {
+		if v != 1 {
+			t.Fatalf("eval dropout must be identity, got %v", v)
+		}
+	}
+	// Train: ~half zeroed, survivors scaled by 2.
+	y = d.Forward(x, true)
+	var zeros, twos int
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("dropout zero fraction %v, want ≈0.5", frac)
+	}
+	// Backward routes gradients through the same mask.
+	g := tensor.New(1, 1, 32, 32)
+	g.Fill(1)
+	gi := d.Backward(g)
+	for i := range gi.Data {
+		if (gi.Data[i] == 0) != (y.Data[i] == 0) {
+			t.Fatal("dropout backward mask mismatch")
+		}
+	}
+}
+
+func TestSGDMomentumStep(t *testing.T) {
+	p := NewParam("w", 2)
+	p.Value.Data[0] = 1
+	p.Grad.Data[0] = 0.5
+	opt := NewSGD(0.1, 0.9, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(float64(p.Value.Data[0])-0.95) > 1e-6 {
+		t.Fatalf("after step w=%v, want 0.95", p.Value.Data[0])
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+	// Second step with same grad includes momentum.
+	p.Grad.Data[0] = 0.5
+	opt.Step([]*Param{p})
+	// v = 0.9*0.5 + 0.5 = 0.95; w = 0.95 - 0.1*0.95 = 0.855
+	if math.Abs(float64(p.Value.Data[0])-0.855) > 1e-6 {
+		t.Fatalf("after 2nd step w=%v, want 0.855", p.Value.Data[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)² with Adam; gradient = 2(w-3).
+	p := NewParam("w", 1)
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.Value.Data[0])-3) > 1e-2 {
+		t.Fatalf("Adam converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", 2)
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-5 {
+		t.Fatalf("pre-clip norm %v, want 5", norm)
+	}
+	var sq float64
+	for _, g := range p.Grad.Data {
+		sq += float64(g) * float64(g)
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-4 {
+		t.Fatalf("post-clip norm %v, want 1", math.Sqrt(sq))
+	}
+}
+
+func TestHeNormalStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := NewParam("w", 64, 32, 3, 3)
+	HeNormal{}.Init(rng, p, 32*9, 64*9)
+	var sum, sq float64
+	for _, v := range p.Value.Data {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	n := float64(p.Numel())
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	want := math.Sqrt(2.0 / float64(32*9))
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("He init mean %v", mean)
+	}
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("He init std %v, want %v", std, want)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	conv := NewConv2D("c", 4, 8, 3, 1, 1, rng, nil)
+	bn := NewBatchNorm2D("b", 8)
+	got := ParamCount([]Layer{conv, bn})
+	want := 8*4*3*3 + 8 + 8 + 8
+	if got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}

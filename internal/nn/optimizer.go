@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+
+	"seneca/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes the gradients.
+	Step(params []*Param)
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float32)
+	// LR reports the current learning rate.
+	LR() float32
+}
+
+// SGD is stochastic gradient descent with optional Nesterov-free momentum
+// and L2 weight decay.
+type SGD struct {
+	Rate        float32
+	Momentum    float32
+	WeightDecay float32
+	velocity    map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{Rate: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float32) { s.Rate = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float32 { return s.Rate }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay > 0 {
+			g.AXPY(s.WeightDecay, p.Value)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.AXPY(1, g)
+			p.Value.AXPY(-s.Rate, v)
+		} else {
+			p.Value.AXPY(-s.Rate, g)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba), the optimizer used to
+// train the SENECA FP32 models.
+type Adam struct {
+	Rate    float32
+	Beta1   float32
+	Beta2   float32
+	Eps     float32
+	t       int
+	moments map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v *tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-7, matching TensorFlow 2's defaults).
+func NewAdam(lr float32) *Adam {
+	return &Adam{Rate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, moments: make(map[*Param]*adamState)}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float32) { a.Rate = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float32 { return a.Rate }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	b1c := 1 - tensor.Powf(a.Beta1, float32(a.t))
+	b2c := 1 - tensor.Powf(a.Beta2, float32(a.t))
+	for _, p := range params {
+		st, ok := a.moments[p]
+		if !ok {
+			st = &adamState{m: tensor.New(p.Value.Shape...), v: tensor.New(p.Value.Shape...)}
+			a.moments[p] = st
+		}
+		g := p.Grad.Data
+		m := st.m.Data
+		v := st.v.Data
+		w := p.Value.Data
+		lr := a.Rate
+		for i := range g {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mhat := m[i] / b1c
+			vhat := v[i] / b2c
+			w[i] -= lr * mhat / (tensor.Sqrtf(vhat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. Stabilizes early U-Net
+// training with the focal Tversky loss.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		n := p.Grad.L2Norm()
+		sq += n * n
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		s := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.Scale(s)
+		}
+	}
+	return norm
+}

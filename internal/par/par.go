@@ -1,0 +1,132 @@
+// Package par provides small deterministic parallelism helpers used by the
+// numeric kernels throughout the repository.
+//
+// All helpers split an index space across a bounded number of goroutines and
+// wait for completion; no goroutine outlives the call. The work function must
+// therefore be safe to run concurrently for disjoint index ranges, which all
+// callers in this module guarantee by writing to disjoint output regions.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps the per-call goroutine count. It is a variable so tests can
+// force serial execution.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the number of goroutines used by subsequent calls.
+// n < 1 resets to runtime.NumCPU(). It returns the previous value.
+// It is intended for tests and benchmarks; it is not safe to call
+// concurrently with running loops.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	maxWorkers = n
+	return prev
+}
+
+// MaxWorkers reports the current goroutine cap.
+func MaxWorkers() int { return maxWorkers }
+
+// For runs body(i) for every i in [0, n) using up to MaxWorkers goroutines.
+// Iterations are distributed in contiguous chunks so adjacent indices land in
+// the same goroutine, which preserves cache locality for the dense-tensor
+// loops that dominate this code base.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into at most MaxWorkers contiguous ranges and runs
+// body(lo, hi) for each range concurrently. Small n degrades gracefully to a
+// single serial call.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every index of dst in parallel, storing the result.
+func Map(dst []float32, f func(i int) float32) {
+	ForChunked(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = f(i)
+		}
+	})
+}
+
+// ReduceSum computes the sum of f(i) for i in [0, n) with a parallel
+// tree-style reduction. Partial sums are accumulated in float64 to limit
+// round-off drift across worker counts.
+func ReduceSum(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	chunk := (n + workers - 1) / workers
+	partials := make([]float64, 0, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			mu.Lock()
+			partials = append(partials, s)
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times, want exactly 1", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunkedRangesPartition(t *testing.T) {
+	n := 1000
+	var total int64
+	ForChunked(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != int64(n) {
+		t.Fatalf("chunks cover %d indices, want %d", total, n)
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if MaxWorkers() != 1 {
+		t.Fatalf("MaxWorkers = %d, want 1", MaxWorkers())
+	}
+	// Serial path must still cover every index.
+	n := 50
+	hits := make([]int, n)
+	For(n, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("serial: index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Constrain magnitudes: float addition is only approximately
+		// associative, and quick loves ±1e308 inputs where reordering
+		// overflows. Moderate values are what the numeric kernels see.
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			for v > 1e6 || v < -1e6 {
+				v /= 1e6
+			}
+			if v != v { // NaN
+				v = 0
+			}
+			vals[i] = v
+		}
+		var want float64
+		for _, v := range vals {
+			want += v
+		}
+		got := ReduceSum(len(vals), func(i int) float64 { return vals[i] })
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if want < 0 {
+			scale = -want
+		} else if want > 0 {
+			scale = want
+		}
+		return diff <= 1e-9*scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	dst := make([]float32, 257)
+	Map(dst, func(i int) float32 { return float32(i) * 2 })
+	for i, v := range dst {
+		if v != float32(i)*2 {
+			t.Fatalf("dst[%d] = %v, want %v", i, v, float32(i)*2)
+		}
+	}
+}
+
+func TestReduceSumEmptyAndWorkerSweep(t *testing.T) {
+	if got := ReduceSum(0, func(int) float64 { return 1 }); got != 0 {
+		t.Fatalf("empty ReduceSum = %v, want 0", got)
+	}
+	for _, w := range []int{1, 2, 3, 8} {
+		prev := SetMaxWorkers(w)
+		got := ReduceSum(100, func(i int) float64 { return float64(i) })
+		SetMaxWorkers(prev)
+		if got != 4950 {
+			t.Fatalf("workers=%d: sum = %v, want 4950", w, got)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package phantom
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"seneca/internal/nifti"
+)
+
+// LoadDataset reads a cohort written by cmd/seneca-dataset (paired
+// volume-N.nii / labels-N.nii files) back into memory. Patients are
+// numbered by their file index; missing indices end the scan.
+func LoadDataset(dir string) ([]*Volume, error) {
+	var out []*Volume
+	for p := 0; ; p++ {
+		ctPath := filepath.Join(dir, fmt.Sprintf("volume-%d.nii", p))
+		labPath := filepath.Join(dir, fmt.Sprintf("labels-%d.nii", p))
+		if _, err := os.Stat(ctPath); err != nil {
+			break
+		}
+		ct, err := nifti.ReadFile(ctPath)
+		if err != nil {
+			return nil, fmt.Errorf("phantom: reading %s: %w", ctPath, err)
+		}
+		labels, err := nifti.ReadFile(labPath)
+		if err != nil {
+			return nil, fmt.Errorf("phantom: reading %s: %w", labPath, err)
+		}
+		if ct.Nx != labels.Nx || ct.Ny != labels.Ny || ct.Nz != labels.Nz {
+			return nil, fmt.Errorf("phantom: patient %d: CT %dx%dx%d vs labels %dx%dx%d",
+				p, ct.Nx, ct.Ny, ct.Nz, labels.Nx, labels.Ny, labels.Nz)
+		}
+		out = append(out, &Volume{Patient: p, CT: ct, Labels: labels})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("phantom: no volume-N.nii files in %s", dir)
+	}
+	return out, nil
+}

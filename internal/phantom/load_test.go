@@ -1,0 +1,71 @@
+package phantom
+
+import (
+	"testing"
+
+	"seneca/internal/nifti"
+)
+
+func TestLoadDatasetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Size: 32, Slices: 6, Seed: 4, NoiseSigma: 5}
+	want := GenerateDataset(3, opt)
+	for i, v := range want {
+		if err := nifti.WriteFile(dir+"/volume-"+itoa(i)+".nii", v.CT); err != nil {
+			t.Fatal(err)
+		}
+		if err := nifti.WriteFile(dir+"/labels-"+itoa(i)+".nii", v.Labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d volumes", len(got))
+	}
+	for i := range got {
+		if got[i].Patient != i {
+			t.Fatalf("patient id %d at index %d", got[i].Patient, i)
+		}
+		for j := range want[i].Labels.Data {
+			if got[i].Labels.Data[j] != want[i].Labels.Data[j] {
+				t.Fatalf("volume %d label voxel %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadDatasetEmptyDir(t *testing.T) {
+	if _, err := LoadDataset(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
+
+func TestLoadDatasetDimensionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ct := nifti.NewVolume(4, 4, 2, nifti.DTInt16)
+	lab := nifti.NewVolume(4, 4, 3, nifti.DTUint8) // wrong depth
+	if err := nifti.WriteFile(dir+"/volume-0.nii", ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := nifti.WriteFile(dir+"/labels-0.nii", lab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(dir); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,321 @@
+// Package phantom procedurally generates CT-ORG-like abdominal/chest CT
+// volumes with voxel-accurate ground-truth labels for the five target organs
+// of the paper (liver, bladder, lungs, kidneys, bones). It substitutes for
+// the real CT-ORG dataset (140 TCIA patients), which is not available in
+// this environment; see DESIGN.md §1.
+//
+// The generator reproduces the statistical properties the SENECA experiments
+// depend on:
+//
+//   - the organ pixel frequencies of paper Table I (bones ≈ 36%, lungs ≈ 34%,
+//     liver ≈ 22%, kidneys ≈ 5%, bladder ≈ 2.5% of labeled voxels), which
+//     drive the class-imbalance problem the loss function addresses;
+//   - low gray-scale contrast between neighboring soft-tissue organs
+//     (liver/kidney/bladder within ~40 HU of body tissue) plus acquisition
+//     noise, the difficulty Section I motivates;
+//   - per-organ difficulty ordering (large high-contrast lungs easy, small
+//     rare bladder hard);
+//   - per-patient anatomical variability (sizes, positions, boundary wobble).
+//
+// Class indices follow the CT-ORG labeling with brain removed (Section
+// III-A removes it as under-represented).
+package phantom
+
+import (
+	"math"
+	"math/rand"
+
+	"seneca/internal/nifti"
+	"seneca/internal/par"
+)
+
+// Class indices in label volumes (CT-ORG order, brain excluded).
+const (
+	ClassBackground uint8 = 0
+	ClassLiver      uint8 = 1
+	ClassBladder    uint8 = 2
+	ClassLungs      uint8 = 3
+	ClassKidneys    uint8 = 4
+	ClassBones      uint8 = 5
+
+	// NumClasses counts background plus the five organs.
+	NumClasses = 6
+)
+
+// ClassNames maps class indices to organ names.
+var ClassNames = [NumClasses]string{"background", "liver", "bladder", "lungs", "kidneys", "bones"}
+
+// Options controls volume generation.
+type Options struct {
+	// Size is the square slice resolution (512 in the paper's source data;
+	// tests use smaller sizes).
+	Size int
+	// Slices is the nominal axial slice count per volume; the per-patient
+	// count is jittered ±25%.
+	Slices int
+	// Seed drives all randomness; (Seed, patient) fully determines a volume.
+	Seed int64
+	// NoiseSigma is the CT acquisition noise in Hounsfield units.
+	NoiseSigma float64
+}
+
+// DefaultOptions returns paper-scale generation parameters.
+func DefaultOptions() Options {
+	return Options{Size: 512, Slices: 60, Seed: 1, NoiseSigma: 12}
+}
+
+// Volume is one synthetic patient: the CT volume in Hounsfield units and
+// the voxel-aligned label volume.
+type Volume struct {
+	Patient int
+	CT      *nifti.Volume
+	Labels  *nifti.Volume
+}
+
+// anatomy holds one patient's randomized body plan.
+type anatomy struct {
+	bodyA, bodyB   float64 // body semi-axes (normalized units)
+	bodyCX, bodyCY float64
+	wobblePhase    [4]float64
+	scale          float64 // global organ size multiplier
+	tissueHU       float64
+	liverHU        float64
+	kidneyHU       float64
+	bladderHU      float64
+	lungHU         float64
+	boneHU         float64
+	liverCX        float64
+	kidneySep      float64
+	chestOnly      bool // chest-only acquisition (as part of CT-ORG is)
+}
+
+func newAnatomy(rng *rand.Rand) anatomy {
+	j := func(base, jitter float64) float64 { return base * (1 + jitter*(rng.Float64()*2-1)) }
+	return anatomy{
+		bodyA:       j(0.78, 0.08),
+		bodyB:       j(0.58, 0.08),
+		bodyCX:      (rng.Float64()*2 - 1) * 0.03,
+		bodyCY:      (rng.Float64()*2 - 1) * 0.03,
+		wobblePhase: [4]float64{rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi},
+		scale:       j(1.0, 0.10),
+		tissueHU:    j(45, 0.15),
+		// Contrast-enhanced values: the CT-ORG cohort is dominated by
+		// contrast-enhanced liver-tumor studies, where liver parenchyma
+		// reads ~90-110 HU and enhanced kidneys higher still, while urine
+		// in the bladder stays near water.
+		liverHU:   j(100, 0.08),
+		kidneyHU:  j(150, 0.10),
+		bladderHU: j(12, 0.25),
+		lungHU:    -800 + rng.Float64()*60,
+		boneHU:    550 + rng.Float64()*250,
+		liverCX:   j(-0.24, 0.15),
+		kidneySep: j(0.30, 0.10),
+		chestOnly: rng.Float64() < 0.15,
+	}
+}
+
+// zRange describes the axial extent of an organ as fractions of the body
+// height (0 = pelvis, 1 = lung apex).
+type zRange struct{ lo, hi float64 }
+
+func (z zRange) contains(f float64) bool { return f >= z.lo && f <= z.hi }
+
+// profile returns a smooth 0→1→0 size profile across the organ's extent.
+func (z zRange) profile(f float64) float64 {
+	if !z.contains(f) {
+		return 0
+	}
+	t := (f - z.lo) / (z.hi - z.lo)
+	return math.Sin(math.Pi * t)
+}
+
+// Axial extents of each organ (tuned so dataset-wide labeled-pixel
+// frequencies match paper Table I; see TestOrganFrequenciesMatchTableI).
+var (
+	zLungs   = zRange{0.50, 0.98}
+	zLiver   = zRange{0.28, 0.64}
+	zKidneys = zRange{0.20, 0.50}
+	zBladder = zRange{0.02, 0.22}
+	zRibs    = zRange{0.48, 1.0}
+	zPelvis  = zRange{0.0, 0.24}
+)
+
+// Generate builds the volume for one patient deterministically.
+func Generate(patient int, opt Options) *Volume {
+	if opt.Size < 16 || opt.Slices < 4 {
+		panic("phantom: Size must be ≥16 and Slices ≥4")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(patient)))
+	an := newAnatomy(rng)
+
+	slices := opt.Slices + rng.Intn(opt.Slices/2+1) - opt.Slices/4
+	if slices < 4 {
+		slices = 4
+	}
+	zLo, zHi := 0.0, 1.0
+	if an.chestOnly {
+		zLo = 0.45
+	}
+
+	size := opt.Size
+	ct := nifti.NewVolume(size, size, slices, nifti.DTInt16)
+	labels := nifti.NewVolume(size, size, slices, nifti.DTUint8)
+
+	// Per-slice noise seeds drawn up front so slice generation can run in
+	// parallel yet stay deterministic.
+	noiseSeeds := make([]int64, slices)
+	for i := range noiseSeeds {
+		noiseSeeds[i] = rng.Int63()
+	}
+
+	par.For(slices, func(s int) {
+		zf := zLo + (zHi-zLo)*(float64(s)+0.5)/float64(slices)
+		renderSlice(ct.Data[s*size*size:(s+1)*size*size],
+			labels.Data[s*size*size:(s+1)*size*size],
+			size, zf, an, opt.NoiseSigma, noiseSeeds[s])
+	})
+	return &Volume{Patient: patient, CT: ct, Labels: labels}
+}
+
+// renderSlice paints one axial slice. Organs are tested in priority order
+// (bones over lungs over kidneys over liver over bladder) so overlapping
+// shapes produce a single consistent label per voxel.
+func renderSlice(ct, labels []float32, size int, zf float64, an anatomy, noiseSigma float64, noiseSeed int64) {
+	nrng := rand.New(rand.NewSource(noiseSeed))
+	inv := 2.0 / float64(size)
+
+	lungP := zLungs.profile(zf) * an.scale
+	liverP := zLiver.profile(zf) * an.scale
+	kidneyP := zKidneys.profile(zf) * an.scale
+	bladderP := zBladder.profile(zf) * an.scale
+	ribsOn := zRibs.contains(zf)
+	pelvisP := zPelvis.profile(zf)
+
+	for y := 0; y < size; y++ {
+		v := float64(y)*inv - 1
+		for x := 0; x < size; x++ {
+			u := float64(x)*inv - 1
+			idx := y*size + x
+
+			du := u - an.bodyCX
+			dv := v - an.bodyCY
+			// Low-frequency boundary wobble makes organs non-elliptical.
+			wob := 1 + 0.06*math.Sin(3*u+an.wobblePhase[0])*math.Cos(2*v+an.wobblePhase[1])
+
+			bodyD := sq(du/an.bodyA) + sq(dv/an.bodyB)
+			if bodyD > wob {
+				ct[idx] = -1000 // air
+				labels[idx] = float32(ClassBackground)
+				continue
+			}
+
+			hu := an.tissueHU
+			// Subcutaneous fat ring just inside the body boundary.
+			if bodyD > 0.80*wob {
+				hu = -90
+			}
+			lab := ClassBackground
+
+			// Spine: present on every slice (bones "appear in almost each
+			// image", paper Section III-C).
+			spine := sq(du/0.115) + sq((dv-0.40)/0.105)
+			vertebra := sq(du/0.21) + sq((dv-0.40)/0.065) // transverse processes
+			if spine <= wob || vertebra <= 0.9*wob {
+				hu = an.boneHU
+				lab = ClassBones
+			} else if ribsOn {
+				// Rib cage: a broken annulus tracking the body outline.
+				if bodyD > 0.62*wob && bodyD < 0.80*wob {
+					ang := math.Atan2(dv, du)
+					if math.Cos(7*ang+an.wobblePhase[2]) > -0.15 {
+						hu = an.boneHU * 0.9
+						lab = ClassBones
+					}
+				}
+			}
+			if lab == ClassBackground && pelvisP > 0 {
+				// Iliac wings: two thick arcs low in the volume.
+				for _, sx := range []float64{-1, 1} {
+					ring := sq((du-sx*0.33)/(0.30*pelvisP+1e-9)) + sq((dv-0.18)/(0.34*pelvisP+1e-9))
+					if ring > 0.45 && ring < 1.0 {
+						hu = an.boneHU * 0.85
+						lab = ClassBones
+						break
+					}
+				}
+			}
+
+			if lab == ClassBackground && lungP > 0 {
+				for _, sx := range []float64{-1, 1} {
+					d := sq((du-sx*0.335)/(0.275*lungP+1e-9)) + sq((dv+0.06)/(0.40*lungP+1e-9))
+					if d <= wob {
+						hu = an.lungHU
+						lab = ClassLungs
+						break
+					}
+				}
+			}
+			if lab == ClassBackground && kidneyP > 0 {
+				for _, sx := range []float64{-1, 1} {
+					d := sq((du-sx*an.kidneySep)/(0.125*kidneyP+1e-9)) + sq((dv-0.22)/(0.165*kidneyP+1e-9))
+					if d <= wob {
+						hu = an.kidneyHU
+						lab = ClassKidneys
+						break
+					}
+				}
+			}
+			if lab == ClassBackground && liverP > 0 {
+				d := sq((du-an.liverCX)/(0.49*liverP+1e-9)) + sq((dv+0.02)/(0.40*liverP+1e-9))
+				if d <= wob {
+					hu = an.liverHU
+					lab = ClassLiver
+				}
+			}
+			if lab == ClassBackground && bladderP > 0 {
+				d := sq(du/(0.26*bladderP+1e-9)) + sq((dv-0.16)/(0.22*bladderP+1e-9))
+				if d <= wob {
+					hu = an.bladderHU
+					lab = ClassBladder
+				}
+			}
+
+			ct[idx] = float32(hu + nrng.NormFloat64()*noiseSigma)
+			labels[idx] = float32(lab)
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// GenerateDataset builds n patient volumes.
+func GenerateDataset(n int, opt Options) []*Volume {
+	out := make([]*Volume, n)
+	for i := range out {
+		out[i] = Generate(i, opt)
+	}
+	return out
+}
+
+// LabeledPixelFrequencies computes, over a set of volumes, the fraction of
+// labeled (non-background) voxels belonging to each organ class — the
+// statistic of paper Table I.
+func LabeledPixelFrequencies(vols []*Volume) map[uint8]float64 {
+	counts := make(map[uint8]int64)
+	var total int64
+	for _, v := range vols {
+		for _, lab := range v.Labels.Data {
+			l := uint8(lab)
+			if l == ClassBackground {
+				continue
+			}
+			counts[l]++
+			total++
+		}
+	}
+	freqs := make(map[uint8]float64, len(counts))
+	for cls, c := range counts {
+		freqs[cls] = float64(c) / float64(total)
+	}
+	return freqs
+}

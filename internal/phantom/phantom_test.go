@@ -1,0 +1,175 @@
+package phantom
+
+import (
+	"math"
+	"testing"
+
+	"seneca/internal/nifti"
+)
+
+func testOptions() Options {
+	return Options{Size: 96, Slices: 24, Seed: 42, NoiseSigma: 12}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(3, testOptions())
+	b := Generate(3, testOptions())
+	if len(a.CT.Data) != len(b.CT.Data) {
+		t.Fatal("volume sizes differ across runs")
+	}
+	for i := range a.CT.Data {
+		if a.CT.Data[i] != b.CT.Data[i] || a.Labels.Data[i] != b.Labels.Data[i] {
+			t.Fatalf("voxel %d differs across identical generations", i)
+		}
+	}
+	c := Generate(4, testOptions())
+	same := len(a.CT.Data) == len(c.CT.Data)
+	if same {
+		diff := false
+		for i := range a.CT.Data {
+			if a.CT.Data[i] != c.CT.Data[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different patients produced identical volumes")
+	}
+}
+
+func TestVolumesContainAllOrgans(t *testing.T) {
+	vols := GenerateDataset(6, testOptions())
+	seen := make(map[uint8]bool)
+	for _, v := range vols {
+		for _, lab := range v.Labels.Data {
+			seen[uint8(lab)] = true
+		}
+	}
+	for cls := uint8(0); cls < NumClasses; cls++ {
+		if !seen[cls] {
+			t.Errorf("class %s never appears in 6 volumes", ClassNames[cls])
+		}
+	}
+}
+
+func TestHounsfieldRangesPerOrgan(t *testing.T) {
+	v := Generate(0, testOptions())
+	sum := make(map[uint8]float64)
+	cnt := make(map[uint8]int)
+	for i, lab := range v.Labels.Data {
+		l := uint8(lab)
+		sum[l] += float64(v.CT.Data[i])
+		cnt[l]++
+	}
+	mean := func(c uint8) float64 { return sum[c] / float64(cnt[c]) }
+	if cnt[ClassLungs] > 0 && mean(ClassLungs) > -500 {
+		t.Errorf("lungs mean HU %v, want strongly negative", mean(ClassLungs))
+	}
+	if cnt[ClassBones] > 0 && mean(ClassBones) < 300 {
+		t.Errorf("bones mean HU %v, want > 300", mean(ClassBones))
+	}
+	// Soft-tissue organs stay within the contrast-enhanced soft-tissue
+	// band — two orders of magnitude closer to body tissue than the
+	// air/bone extremes that dominate the intensity range.
+	for _, c := range []uint8{ClassLiver, ClassKidneys, ClassBladder} {
+		if cnt[c] == 0 {
+			continue
+		}
+		m := mean(c)
+		if m < -60 || m > 170 {
+			t.Errorf("%s mean HU %v outside soft-tissue band", ClassNames[c], m)
+		}
+	}
+}
+
+// TestOrganFrequenciesMatchTableI is the Table I reproduction gate: over a
+// dataset the labeled-pixel distribution must approximate the paper's
+// measured CT-ORG frequencies (bones 36.26%, lungs 34.17%, liver 22.18%,
+// kidneys 4.70%, bladder 2.51%).
+func TestOrganFrequenciesMatchTableI(t *testing.T) {
+	opt := testOptions()
+	vols := GenerateDataset(20, opt)
+	freqs := LabeledPixelFrequencies(vols)
+
+	want := map[uint8]float64{
+		ClassLiver:   0.2218,
+		ClassBladder: 0.0251,
+		ClassLungs:   0.3417,
+		ClassKidneys: 0.0470,
+		ClassBones:   0.3626,
+	}
+	for cls, w := range want {
+		got := freqs[cls]
+		rel := math.Abs(got-w) / w
+		if rel > 0.40 {
+			t.Errorf("%s frequency %.4f, want ≈%.4f (Table I, ±40%%)", ClassNames[cls], got, w)
+		}
+	}
+	// The imbalance ordering itself is the critical property.
+	if !(freqs[ClassBones] > freqs[ClassLiver] &&
+		freqs[ClassLungs] > freqs[ClassLiver] &&
+		freqs[ClassLiver] > freqs[ClassKidneys] &&
+		freqs[ClassKidneys] > freqs[ClassBladder]) {
+		t.Errorf("organ frequency ordering violated: %v", freqs)
+	}
+}
+
+func TestBonesAppearInAlmostEverySlice(t *testing.T) {
+	// Paper Section III-C: "bones ... appear in almost each image".
+	v := Generate(1, testOptions())
+	size := v.CT.Nx * v.CT.Ny
+	withBones := 0
+	for s := 0; s < v.CT.Nz; s++ {
+		found := false
+		for _, lab := range v.Labels.Data[s*size : (s+1)*size] {
+			if uint8(lab) == ClassBones {
+				found = true
+				break
+			}
+		}
+		if found {
+			withBones++
+		}
+	}
+	if frac := float64(withBones) / float64(v.CT.Nz); frac < 0.9 {
+		t.Errorf("bones appear in %.0f%% of slices, want ≥90%%", frac*100)
+	}
+}
+
+func TestNiftiRoundTripOfPhantom(t *testing.T) {
+	v := Generate(2, Options{Size: 32, Slices: 6, Seed: 9, NoiseSigma: 5})
+	dir := t.TempDir()
+	ctPath := dir + "/ct.nii"
+	labPath := dir + "/labels.nii"
+	if err := nifti.WriteFile(ctPath, v.CT); err != nil {
+		t.Fatal(err)
+	}
+	if err := nifti.WriteFile(labPath, v.Labels); err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := nifti.ReadFile(ctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab2, err := nifti.ReadFile(labPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct2.Nx != v.CT.Nx || ct2.Nz != v.CT.Nz {
+		t.Fatalf("CT dims %dx%dx%d after round trip", ct2.Nx, ct2.Ny, ct2.Nz)
+	}
+	// INT16 storage truncates toward the int grid; values must match within
+	// 1 HU.
+	for i := range v.CT.Data {
+		if math.Abs(float64(ct2.Data[i]-v.CT.Data[i])) > 1 {
+			t.Fatalf("CT voxel %d: %v vs %v", i, ct2.Data[i], v.CT.Data[i])
+		}
+	}
+	for i := range v.Labels.Data {
+		if lab2.Data[i] != v.Labels.Data[i] {
+			t.Fatalf("label voxel %d: %v vs %v", i, lab2.Data[i], v.Labels.Data[i])
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package prune implements structured (filter-level) magnitude pruning for
+// the SENECA U-Nets — the paper's stated future work ("we will evaluate
+// some pruning techniques to additionally improve throughput and energy
+// efficiency", Section V).
+//
+// Pruning operates on the exported inference graph: for every encoder/
+// decoder convolution, the output channels with the lowest L1 weight norm
+// are removed, and every consumer (the next convolution, the batch-norm
+// affine, the skip-connection concat) is rewired to the surviving channels.
+// The result is a genuinely smaller graph — fewer MACs, fewer weights,
+// smaller feature maps — which the existing quantizer, compiler and DPU
+// model consume unchanged, so the throughput/energy gains are measured by
+// the same machinery as everything else.
+//
+// Filter counts are kept multiples of the DPU's 8-channel vector
+// granularity by default, because the device model (and the real DPU)
+// punishes misaligned channel counts (see internal/dpu).
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"seneca/internal/graph"
+)
+
+// Options controls pruning.
+type Options struct {
+	// Fraction is the target fraction of output channels to remove from
+	// each prunable convolution (0 < Fraction < 1).
+	Fraction float64
+	// Align keeps surviving channel counts multiples of this granularity
+	// (default 8, the DPU vector width). 1 disables alignment.
+	Align int
+	// MinChannels is the floor below which a layer is never pruned.
+	MinChannels int
+}
+
+// DefaultOptions returns a conservative 25% filter pruning aligned to the
+// DPU granularity.
+func DefaultOptions() Options {
+	return Options{Fraction: 0.25, Align: 8, MinChannels: 8}
+}
+
+// Report summarizes what pruning removed.
+type Report struct {
+	// PrunedChannels maps conv node name → channels removed.
+	PrunedChannels map[string]int
+	// ParamsBefore/After count convolution weights.
+	ParamsBefore, ParamsAfter int64
+}
+
+// Prune returns a pruned deep copy of the graph. The graph must be in
+// exported (unfolded) form: conv → batchnorm → relu chains with concat skip
+// connections, as produced by unet.Model.Export. The final classifier
+// convolution is never pruned (its output channels are the classes).
+func Prune(g *graph.Graph, opt Options) (*graph.Graph, *Report, error) {
+	if opt.Fraction <= 0 || opt.Fraction >= 1 {
+		return nil, nil, fmt.Errorf("prune: fraction %v out of (0,1)", opt.Fraction)
+	}
+	if opt.Align < 1 {
+		opt.Align = 1
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("prune: invalid graph: %w", err)
+	}
+
+	// consumers[name] lists nodes reading each node's output.
+	consumers := make(map[string][]*graph.Node)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in] = append(consumers[in], n)
+		}
+	}
+
+	report := &Report{PrunedChannels: make(map[string]int)}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose {
+			report.ParamsBefore += int64(n.Weight.Len())
+		}
+	}
+
+	// keep[name] lists each node's surviving output channels as indices
+	// into that node's ORIGINAL output-channel space, in increasing order.
+	// Consumers use it to slice their weights: a consumer's original input
+	// space is its producer's original output space.
+	keep := make(map[string][]int)
+
+	if err := g.InferShapes(); err != nil {
+		return nil, nil, fmt.Errorf("prune: shapes: %w", err)
+	}
+	out := graph.New(g.InC, g.InH, g.InW)
+	keep[g.InputName] = identity(g.InC)
+
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.KindInput:
+			// Already present.
+		case graph.KindConv:
+			inKeep := keep[n.Inputs[0]]
+			survivors := identity(n.OutC)
+			if prunable(n, consumers, g) {
+				survivors = selectChannels(n, opt)
+				report.PrunedChannels[n.Name] = n.OutC - len(survivors)
+			}
+			nn := copyNode(n)
+			nn.Weight = sliceConvWeight(n, inKeep, survivors)
+			nn.Bias = gatherF32(n.Bias, survivors)
+			nn.InC = len(inKeep)
+			nn.OutC = len(survivors)
+			out.Add(nn)
+			keep[n.Name] = survivors
+		case graph.KindConvTranspose:
+			inKeep := keep[n.Inputs[0]]
+			survivors := identity(n.OutC)
+			if prunable(n, consumers, g) {
+				survivors = selectChannels(n, opt)
+				report.PrunedChannels[n.Name] = n.OutC - len(survivors)
+			}
+			nn := copyNode(n)
+			nn.Weight = sliceConvWeight(n, inKeep, survivors)
+			nn.Bias = gatherF32(n.Bias, survivors)
+			nn.InC = len(inKeep)
+			nn.OutC = len(survivors)
+			out.Add(nn)
+			keep[n.Name] = survivors
+		case graph.KindBatchNorm:
+			inKeep := keep[n.Inputs[0]]
+			nn := copyNode(n)
+			nn.Scale = gatherF32(n.Scale, inKeep)
+			nn.Shift = gatherF32(n.Shift, inKeep)
+			out.Add(nn)
+			keep[n.Name] = inKeep
+		case graph.KindConcat:
+			a := keep[n.Inputs[0]]
+			b := keep[n.Inputs[1]]
+			// Map the second input's survivors into the concatenated
+			// original channel space.
+			firstOrig := g.Node(n.Inputs[0]).OutShape[0]
+			merged := append([]int(nil), a...)
+			for _, j := range b {
+				merged = append(merged, firstOrig+j)
+			}
+			nn := copyNode(n)
+			out.Add(nn)
+			keep[n.Name] = merged
+		default: // ReLU, MaxPool, Dropout, Softmax preserve channel identity.
+			inKeep := keep[n.Inputs[0]]
+			nn := copyNode(n)
+			out.Add(nn)
+			keep[n.Name] = inKeep
+		}
+	}
+	out.OutputName = g.OutputName
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("prune: pruned graph invalid: %w", err)
+	}
+	if err := out.InferShapes(); err != nil {
+		return nil, nil, fmt.Errorf("prune: pruned graph shapes: %w", err)
+	}
+	for _, n := range out.Nodes {
+		if n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose {
+			report.ParamsAfter += int64(n.Weight.Len())
+		}
+	}
+	return out, report, nil
+}
+
+// prunable reports whether a convolution's output channels may be removed:
+// the final classifier (feeding softmax directly or via nothing else) keeps
+// all channels.
+func prunable(n *graph.Node, consumers map[string][]*graph.Node, g *graph.Graph) bool {
+	for _, c := range consumers[n.Name] {
+		if c.Kind == graph.KindSoftmax {
+			return false
+		}
+	}
+	return n.Name != g.OutputName
+}
+
+// selectChannels ranks output channels by L1 norm and keeps the strongest,
+// respecting alignment and the channel floor.
+func selectChannels(n *graph.Node, opt Options) []int {
+	targetKeep := int(float64(n.OutC) * (1 - opt.Fraction))
+	if opt.Align > 1 {
+		targetKeep = (targetKeep / opt.Align) * opt.Align
+	}
+	if targetKeep < opt.MinChannels {
+		targetKeep = opt.MinChannels
+	}
+	if targetKeep >= n.OutC {
+		return identity(n.OutC)
+	}
+	norms := channelL1(n)
+	idx := identity(n.OutC)
+	sort.Slice(idx, func(i, j int) bool { return norms[idx[i]] > norms[idx[j]] })
+	kept := append([]int(nil), idx[:targetKeep]...)
+	sort.Ints(kept)
+	return kept
+}
+
+// channelL1 computes the per-output-channel L1 weight norm.
+func channelL1(n *graph.Node) []float64 {
+	norms := make([]float64, n.OutC)
+	kk := n.Kernel * n.Kernel
+	switch n.Kind {
+	case graph.KindConv: // [OutC, InC, K, K]
+		per := n.InC * kk
+		for oc := 0; oc < n.OutC; oc++ {
+			var s float64
+			for _, v := range n.Weight.Data[oc*per : (oc+1)*per] {
+				if v < 0 {
+					v = -v
+				}
+				s += float64(v)
+			}
+			norms[oc] = s
+		}
+	case graph.KindConvTranspose: // [InC, OutC, K, K]
+		for ic := 0; ic < n.InC; ic++ {
+			for oc := 0; oc < n.OutC; oc++ {
+				base := (ic*n.OutC + oc) * kk
+				var s float64
+				for _, v := range n.Weight.Data[base : base+kk] {
+					if v < 0 {
+						v = -v
+					}
+					s += float64(v)
+				}
+				norms[oc] += s
+			}
+		}
+	}
+	return norms
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func gatherF32(src []float32, idx []int) []float32 {
+	if src == nil {
+		return nil
+	}
+	out := make([]float32, len(idx))
+	for i, j := range idx {
+		out[i] = src[j]
+	}
+	return out
+}
+
+func copyNode(n *graph.Node) *graph.Node {
+	c := *n
+	c.Inputs = append([]string(nil), n.Inputs...)
+	if n.Bias != nil {
+		c.Bias = append([]float32(nil), n.Bias...)
+	}
+	if n.Scale != nil {
+		c.Scale = append([]float32(nil), n.Scale...)
+		c.Shift = append([]float32(nil), n.Shift...)
+	}
+	if n.Weight != nil {
+		c.Weight = n.Weight.Clone()
+	}
+	return &c
+}

@@ -1,0 +1,168 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+
+	"seneca/internal/dpu"
+	"seneca/internal/graph"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+func exportedTestGraph(t *testing.T, baseFilters int) *graph.Graph {
+	t.Helper()
+	cfg := unet.Config{Name: "p", Depth: 2, BaseFilters: baseFilters, InChannels: 1, NumClasses: 6, DropoutRate: 0, Seed: 3}
+	m := unet.New(cfg)
+	// Warm batch-norm statistics.
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 1, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	m.Forward(x, true)
+	return m.Export(16, 16)
+}
+
+func TestPruneReducesParameters(t *testing.T) {
+	g := exportedTestGraph(t, 16)
+	pruned, rep, err := Prune(g, Options{Fraction: 0.5, Align: 8, MinChannels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParamsAfter >= rep.ParamsBefore {
+		t.Fatalf("params did not shrink: %d → %d", rep.ParamsBefore, rep.ParamsAfter)
+	}
+	if len(rep.PrunedChannels) == 0 {
+		t.Fatal("no layers pruned")
+	}
+	// Alignment: every conv keeps a multiple of 8 channels (except the
+	// classifier head, which is untouched).
+	for _, n := range pruned.Nodes {
+		if n.Kind != graph.KindConv && n.Kind != graph.KindConvTranspose {
+			continue
+		}
+		if n.Name == "head.conv" {
+			if n.OutC != 6 {
+				t.Fatalf("classifier head pruned to %d channels", n.OutC)
+			}
+			continue
+		}
+		if n.OutC%8 != 0 {
+			t.Errorf("%s: %d surviving channels not 8-aligned", n.Name, n.OutC)
+		}
+	}
+}
+
+func TestPrunedGraphExecutes(t *testing.T) {
+	g := exportedTestGraph(t, 16)
+	pruned, _, err := Prune(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.New(1, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = float32(rng.NormFloat64())
+	}
+	out, err := pruned.Forward(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[0] != 6 || out.Shape[1] != 16 || out.Shape[2] != 16 {
+		t.Fatalf("pruned output shape %v", out.Shape)
+	}
+}
+
+func TestPruneKeepsStrongestChannels(t *testing.T) {
+	// Hand-built: conv with 4 output channels of clearly distinct norms.
+	g := graph.New(1, 4, 4)
+	w := tensor.New(4, 1, 1, 1)
+	w.Data = []float32{0.01, 5, 0.02, 7} // channels 1 and 3 dominate
+	g.Add(&graph.Node{
+		Name: "c", Kind: graph.KindConv, Inputs: []string{"input"},
+		Kernel: 1, Stride: 1, Pad: 0, InC: 1, OutC: 4,
+		Weight: w, Bias: []float32{1, 2, 3, 4},
+	})
+	g.Add(&graph.Node{Name: "r", Kind: graph.KindReLU, Inputs: []string{"c"}})
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	pruned, _, err := Prune(g, Options{Fraction: 0.5, Align: 1, MinChannels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := pruned.Node("c")
+	if c.OutC != 2 {
+		t.Fatalf("kept %d channels, want 2", c.OutC)
+	}
+	if c.Weight.Data[0] != 5 || c.Weight.Data[1] != 7 {
+		t.Fatalf("kept wrong channels: weights %v", c.Weight.Data)
+	}
+	if c.Bias[0] != 2 || c.Bias[1] != 4 {
+		t.Fatalf("bias not gathered: %v", c.Bias)
+	}
+}
+
+func TestPruneInvalidFraction(t *testing.T) {
+	g := exportedTestGraph(t, 8)
+	if _, _, err := Prune(g, Options{Fraction: 0}); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, _, err := Prune(g, Options{Fraction: 1}); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+// TestPruningImprovesThroughput is the paper's future-work claim: pruning
+// raises FPS and energy efficiency on the DPU.
+func TestPruningImprovesThroughput(t *testing.T) {
+	cfg, _ := unet.ConfigByName("4M")
+	m := unet.New(cfg)
+	g := m.Export(256, 256)
+
+	compile := func(gr *graph.Graph) *xmodel.Program {
+		q, err := quant.QuantizeShapeOnly(gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := xmodel.Compile(q, "p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	dev := dpu.New(dpu.ZCU104B4096())
+	base := dev.TimeFrame(compile(g))
+
+	pruned, rep, err := Prune(g, Options{Fraction: 0.4, Align: 8, MinChannels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := dev.TimeFrame(compile(pruned))
+	if fast.Latency >= base.Latency {
+		t.Fatalf("pruning did not speed up the DPU: %v → %v", base.Latency, fast.Latency)
+	}
+	t.Logf("pruned %d→%d conv params; latency %v → %v (%.2f×)",
+		rep.ParamsBefore, rep.ParamsAfter, base.Latency, fast.Latency,
+		float64(base.Latency)/float64(fast.Latency))
+}
+
+// TestPruneZeroFractionEquivalence: pruning that removes nothing must keep
+// the function bit-identical.
+func TestPruneMinChannelsFloor(t *testing.T) {
+	g := exportedTestGraph(t, 8)
+	pruned, _, err := Prune(g, Options{Fraction: 0.9, Align: 8, MinChannels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range pruned.Nodes {
+		if (n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose) && n.Name != "head.conv" {
+			if n.OutC < 8 {
+				t.Fatalf("%s pruned below floor: %d", n.Name, n.OutC)
+			}
+		}
+	}
+}

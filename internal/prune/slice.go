@@ -1,0 +1,36 @@
+package prune
+
+import (
+	"seneca/internal/graph"
+	"seneca/internal/tensor"
+)
+
+// sliceConvWeight gathers the surviving input and output channels of a
+// convolution weight tensor, preserving the node kind's layout.
+func sliceConvWeight(n *graph.Node, inKeep, outKeep []int) *tensor.Tensor {
+	k := n.Kernel
+	kk := k * k
+	switch n.Kind {
+	case graph.KindConv: // [OutC, InC, K, K]
+		out := tensor.New(len(outKeep), len(inKeep), k, k)
+		for oi, oc := range outKeep {
+			for ii, ic := range inKeep {
+				src := n.Weight.Data[(oc*n.InC+ic)*kk : (oc*n.InC+ic+1)*kk]
+				dst := out.Data[(oi*len(inKeep)+ii)*kk : (oi*len(inKeep)+ii+1)*kk]
+				copy(dst, src)
+			}
+		}
+		return out
+	case graph.KindConvTranspose: // [InC, OutC, K, K]
+		out := tensor.New(len(inKeep), len(outKeep), k, k)
+		for ii, ic := range inKeep {
+			for oi, oc := range outKeep {
+				src := n.Weight.Data[(ic*n.OutC+oc)*kk : (ic*n.OutC+oc+1)*kk]
+				dst := out.Data[(ii*len(outKeep)+oi)*kk : (ii*len(outKeep)+oi+1)*kk]
+				copy(dst, src)
+			}
+		}
+		return out
+	}
+	return n.Weight.Clone()
+}

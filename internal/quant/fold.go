@@ -1,0 +1,130 @@
+package quant
+
+import (
+	"fmt"
+
+	"seneca/internal/graph"
+)
+
+// Fold applies the quantizer's graph-cleanup passes (paper Section III-D):
+// batch-norm layers are folded into the preceding convolution's weights and
+// bias, and dropout nodes (inference no-ops) are removed. The input graph is
+// not modified; a new graph with rewired inputs is returned.
+func Fold(g *graph.Graph) (*graph.Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("quant: folding invalid graph: %w", err)
+	}
+	out := graph.New(g.InC, g.InH, g.InW)
+	// rename maps an original node name to the name that now produces its
+	// value in the folded graph.
+	rename := map[string]string{g.InputName: out.InputName}
+
+	mapInputs := func(in []string) []string {
+		mapped := make([]string, len(in))
+		for i, name := range in {
+			m, ok := rename[name]
+			if !ok {
+				panic(fmt.Sprintf("quant: unmapped input %q", name))
+			}
+			mapped[i] = m
+		}
+		return mapped
+	}
+
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.KindInput:
+			// Already present as out's input node.
+		case graph.KindDropout:
+			// Identity at inference: alias to the producer.
+			rename[n.Name] = rename[n.Inputs[0]]
+		case graph.KindBatchNorm:
+			prodName := rename[n.Inputs[0]]
+			prod := out.Node(prodName)
+			if prod != nil && (prod.Kind == graph.KindConv || prod.Kind == graph.KindConvTranspose) {
+				foldBNIntoConv(prod, n.Scale, n.Shift)
+				rename[n.Name] = prodName
+			} else {
+				// No conv to fold into (e.g. BN after concat): keep the node.
+				kept := &graph.Node{
+					Name: n.Name, Kind: graph.KindBatchNorm,
+					Inputs: mapInputs(n.Inputs),
+					Scale:  append([]float32(nil), n.Scale...),
+					Shift:  append([]float32(nil), n.Shift...),
+				}
+				out.Add(kept)
+				rename[n.Name] = n.Name
+			}
+		default:
+			kept := &graph.Node{
+				Name: n.Name, Kind: n.Kind,
+				Inputs: mapInputs(n.Inputs),
+				Kernel: n.Kernel, Stride: n.Stride, Pad: n.Pad, OutPad: n.OutPad,
+				InC: n.InC, OutC: n.OutC,
+				FusedReLU: n.FusedReLU,
+			}
+			if n.Weight != nil {
+				kept.Weight = n.Weight.Clone()
+			}
+			if n.Bias != nil {
+				kept.Bias = append([]float32(nil), n.Bias...)
+			}
+			out.Add(kept)
+			rename[n.Name] = n.Name
+		}
+	}
+	outName, ok := rename[g.OutputName]
+	if !ok {
+		return nil, fmt.Errorf("quant: output node %q vanished during folding", g.OutputName)
+	}
+	out.OutputName = outName
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("quant: folded graph invalid: %w", err)
+	}
+	if err := out.InferShapes(); err != nil {
+		return nil, fmt.Errorf("quant: folded graph shapes: %w", err)
+	}
+	return out, nil
+}
+
+// foldBNIntoConv rewrites conv weights W and bias b so that
+// BN(conv(x)) == conv'(x): W'[oc] = scale[oc]·W[oc], b'[oc] =
+// scale[oc]·b[oc] + shift[oc]. Weight layout differs between Conv
+// ([OutC, InC, K, K], output channel outermost) and ConvTranspose
+// ([InC, OutC, K, K], output channel second).
+func foldBNIntoConv(conv *graph.Node, scale, shift []float32) {
+	if len(scale) != conv.OutC {
+		panic(fmt.Sprintf("quant: BN folding %d scales into conv with %d output channels", len(scale), conv.OutC))
+	}
+	w := conv.Weight.Data
+	kk := conv.Kernel * conv.Kernel
+	switch conv.Kind {
+	case graph.KindConv:
+		per := conv.InC * kk
+		for oc := 0; oc < conv.OutC; oc++ {
+			s := scale[oc]
+			row := w[oc*per : (oc+1)*per]
+			for i := range row {
+				row[i] *= s
+			}
+		}
+	case graph.KindConvTranspose:
+		for ic := 0; ic < conv.InC; ic++ {
+			for oc := 0; oc < conv.OutC; oc++ {
+				s := scale[oc]
+				base := (ic*conv.OutC + oc) * kk
+				for i := 0; i < kk; i++ {
+					w[base+i] *= s
+				}
+			}
+		}
+	default:
+		panic("quant: foldBNIntoConv on non-convolution node")
+	}
+	if conv.Bias == nil {
+		conv.Bias = make([]float32, conv.OutC)
+	}
+	for oc := 0; oc < conv.OutC; oc++ {
+		conv.Bias[oc] = conv.Bias[oc]*scale[oc] + shift[oc]
+	}
+}

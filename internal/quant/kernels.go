@@ -1,0 +1,217 @@
+package quant
+
+import (
+	"seneca/internal/par"
+	"seneca/internal/tensor"
+)
+
+// im2colInt8 lowers an int8 CHW image into the [C*KH*KW, OH*OW] column
+// matrix (int8), mirroring tensor.Im2Col.
+func im2colInt8(src []int8, c, h, w, k, stride, pad int, dst []int8, oh, ow int) {
+	rows := c * k * k
+	par.ForChunked(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ci := r / (k * k)
+			rem := r % (k * k)
+			ky := rem / k
+			kx := rem % k
+			plane := src[ci*h*w : (ci+1)*h*w]
+			drow := dst[r*oh*ow : (r+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*stride - pad + ky
+				base := oy * ow
+				if iy < 0 || iy >= h {
+					for ox := 0; ox < ow; ox++ {
+						drow[base+ox] = 0
+					}
+					continue
+				}
+				srow := plane[iy*w : (iy+1)*w]
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*stride - pad + kx
+					if ix < 0 || ix >= w {
+						drow[base+ox] = 0
+					} else {
+						drow[base+ox] = srow[ix]
+					}
+				}
+			}
+		}
+	})
+}
+
+// convInt8 computes an INT8 convolution with int32 accumulation and DPU
+// round-shift requantization. bias is at fix position inFP+weightFP; shift
+// converts the accumulator to the output fix position. relu applies the
+// fused activation before saturation.
+func convInt8(src []int8, c, h, w int, weight []int8, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int) {
+	ckk := c * k * k
+	cols := make([]int8, ckk*oh*ow)
+	im2colInt8(src, c, h, w, k, stride, pad, cols, oh, ow)
+	hw := oh * ow
+	par.For(outC, func(oc int) {
+		wrow := weight[oc*ckk : (oc+1)*ckk]
+		out := dst[oc*hw : (oc+1)*hw]
+		acc := make([]int32, hw)
+		for p, wv := range wrow {
+			if wv == 0 {
+				continue
+			}
+			w32 := int32(wv)
+			crow := cols[p*hw : (p+1)*hw]
+			for j, cv := range crow {
+				acc[j] += w32 * int32(cv)
+			}
+		}
+		b := bias[oc]
+		for j, a := range acc {
+			v := int64(a) + int64(b)
+			if relu && v < 0 {
+				v = 0
+			}
+			out[j] = RoundShift(v, shift)
+		}
+	})
+}
+
+// convTransposeInt8 computes an INT8 transpose convolution: cols = Wᵀ·x in
+// int32, then a col2im scatter, bias add, optional ReLU and requantization.
+// weight layout is [InC, OutC, K, K] as in the FP32 graph.
+func convTransposeInt8(src []int8, c, h, w int, weight []int8, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int) {
+	ckk := outC * k * k
+	hw := h * w
+	cols := make([]int32, ckk*hw)
+	// cols[r, j] = Σ_ic W[ic, r] · x[ic, j]
+	par.ForChunked(ckk, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			crow := cols[r*hw : (r+1)*hw]
+			for ic := 0; ic < c; ic++ {
+				wv := weight[ic*ckk+r]
+				if wv == 0 {
+					continue
+				}
+				w32 := int32(wv)
+				xrow := src[ic*hw : (ic+1)*hw]
+				for j, xv := range xrow {
+					crow[j] += w32 * int32(xv)
+				}
+			}
+		}
+	})
+	// Scatter into the (larger) output image, then finalize.
+	ohw := oh * ow
+	par.For(outC, func(oc int) {
+		acc := make([]int32, ohw)
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				r := (oc*k+ky)*k + kx
+				crow := cols[r*hw : (r+1)*hw]
+				for iy := 0; iy < h; iy++ {
+					py := iy*stride - pad + ky
+					if py < 0 || py >= oh {
+						continue
+					}
+					for ix := 0; ix < w; ix++ {
+						px := ix*stride - pad + kx
+						if px < 0 || px >= ow {
+							continue
+						}
+						acc[py*ow+px] += crow[iy*w+ix]
+					}
+				}
+			}
+		}
+		b := bias[oc]
+		out := dst[oc*ohw : (oc+1)*ohw]
+		for j, a := range acc {
+			v := int64(a) + int64(b)
+			if relu && v < 0 {
+				v = 0
+			}
+			out[j] = RoundShift(v, shift)
+		}
+	})
+}
+
+// maxPoolInt8 is 2×2/stride-2 max pooling on an int8 CHW image.
+func maxPoolInt8(src []int8, c, h, w int, dst []int8) {
+	oh, ow := h/2, w/2
+	par.For(c, func(ci int) {
+		plane := src[ci*h*w : (ci+1)*h*w]
+		out := dst[ci*oh*ow : (ci+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy, ix := oy*2, ox*2
+				best := plane[iy*w+ix]
+				if v := plane[iy*w+ix+1]; v > best {
+					best = v
+				}
+				if v := plane[(iy+1)*w+ix]; v > best {
+					best = v
+				}
+				if v := plane[(iy+1)*w+ix+1]; v > best {
+					best = v
+				}
+				out[oy*ow+ox] = best
+			}
+		}
+	})
+}
+
+// reluInt8 applies max(0, x) with a fix-position change (shift) if the
+// calibrated output scale differs from the input scale.
+func reluInt8(src []int8, shift int, dst []int8) {
+	par.ForChunked(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			if v < 0 {
+				v = 0
+			}
+			if shift == 0 {
+				dst[i] = v
+			} else {
+				dst[i] = RoundShift(int64(v), shift)
+			}
+		}
+	})
+}
+
+// requantInt8 shifts a whole int8 buffer from one fix position to another.
+func requantInt8(src []int8, shift int, dst []int8) {
+	if shift == 0 {
+		copy(dst, src)
+		return
+	}
+	par.ForChunked(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = RoundShift(int64(src[i]), shift)
+		}
+	})
+}
+
+// argmaxChannelsInt8 returns the per-pixel argmax class over an int8 CHW
+// logit map — the "INT8 masks" the deployed model returns (Section III-E).
+func argmaxChannelsInt8(src []int8, c, hw int) []uint8 {
+	out := make([]uint8, hw)
+	par.ForChunked(hw, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			best := src[j]
+			bi := 0
+			for ch := 1; ch < c; ch++ {
+				if v := src[ch*hw+j]; v > best {
+					best = v
+					bi = ch
+				}
+			}
+			out[j] = uint8(bi)
+		}
+	})
+	return out
+}
+
+// dequantizeToTensor expands an int8 CHW activation into a float tensor.
+func dequantizeToTensor(src []int8, fp FixPos, shape [3]int) *tensor.Tensor {
+	t := tensor.New(shape[0], shape[1], shape[2])
+	DequantizeSlice(src, fp, t.Data)
+	return t
+}

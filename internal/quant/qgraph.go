@@ -1,0 +1,215 @@
+package quant
+
+import (
+	"fmt"
+
+	"seneca/internal/graph"
+	"seneca/internal/tensor"
+)
+
+// QNode is one operator of the quantized inference graph.
+type QNode struct {
+	Name   string
+	Kind   graph.Kind
+	Inputs []string
+
+	Kernel, Stride, Pad, OutPad int
+	InC, OutC                   int
+
+	// Weight is the quantized kernel (Conv: [OutC,InC,K,K] flattened;
+	// ConvTranspose: [InC,OutC,K,K] flattened) at fix position WeightFP.
+	Weight   []int8
+	WeightFP FixPos
+	// Bias is int32 at fix position InFP+WeightFP (the accumulator grid).
+	Bias []int32
+
+	// InFP / OutFP are the activation fix positions at this node's input(s)
+	// (after requantization to a common grid) and output.
+	InFP, OutFP FixPos
+
+	// FusedReLU marks a ReLU folded into this node's write-back path.
+	FusedReLU bool
+
+	// OutShape is the single-image CHW output geometry.
+	OutShape [3]int
+}
+
+// QGraph is a fully-quantized inference graph — the in-memory form of the
+// compiled "xmodel" (before instruction lowering in internal/xmodel).
+type QGraph struct {
+	Nodes  []*QNode
+	byName map[string]*QNode
+
+	InputName  string
+	OutputName string
+
+	InC, InH, InW int
+	// InputFP is the input quantization factor "generated during
+	// compilation and stored into the xmodel" (paper Section III-E): the
+	// runtime scales incoming FP32 slices by 2^InputFP.
+	InputFP FixPos
+	// NumClasses is the channel count of the logit output.
+	NumClasses int
+}
+
+// Node returns the named node, or nil.
+func (q *QGraph) Node(name string) *QNode { return q.byName[name] }
+
+// RebuildIndex reconstructs the name index from Nodes. Callers that
+// assemble or deserialize a QGraph outside this package (the compiler, the
+// xmodel reader) must invoke it before Execute.
+func (q *QGraph) RebuildIndex() {
+	q.byName = make(map[string]*QNode, len(q.Nodes))
+	for _, n := range q.Nodes {
+		q.byName[n.Name] = n
+	}
+}
+
+// Options controls quantization.
+type Options struct {
+	// PerChannelWeights quantizes convolution weights with one fix position
+	// per output channel instead of per tensor. The DPU flow uses per-tensor
+	// (the default); per-channel is provided for the ablation study.
+	PerChannelWeights bool
+}
+
+// Quantize converts a folded FP32 graph into a QGraph using calibration
+// statistics — the PTQ step of Figure 1(D).
+func Quantize(g *graph.Graph, cal *Calibration, opt Options) (*QGraph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("quant: quantizing invalid graph: %w", err)
+	}
+	fps := cal.FixPositions()
+	q := &QGraph{
+		byName: make(map[string]*QNode),
+		InC:    g.InC, InH: g.InH, InW: g.InW,
+	}
+	inputFP, ok := fps[g.InputName]
+	if !ok {
+		return nil, fmt.Errorf("quant: no calibration data for graph input")
+	}
+	q.InputFP = inputFP
+
+	for _, n := range g.Nodes {
+		qn := &QNode{
+			Name: n.Name, Kind: n.Kind,
+			Inputs: append([]string(nil), n.Inputs...),
+			Kernel: n.Kernel, Stride: n.Stride, Pad: n.Pad, OutPad: n.OutPad,
+			InC: n.InC, OutC: n.OutC,
+			FusedReLU: n.FusedReLU,
+			OutShape:  n.OutShape,
+		}
+		outFP, ok := fps[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("quant: no calibration data for node %q", n.Name)
+		}
+		qn.OutFP = outFP
+		switch n.Kind {
+		case graph.KindInput:
+			qn.OutFP = inputFP
+			q.InputName = n.Name
+		case graph.KindConv, graph.KindConvTranspose:
+			inFP := q.byName[n.Inputs[0]].OutFP
+			qn.InFP = inFP
+			wq, wfp := quantizeWeights(n, opt)
+			qn.Weight = wq
+			qn.WeightFP = wfp
+			qn.Bias = quantizeBias(n.Bias, inFP+wfp)
+		case graph.KindConcat:
+			// Common input grid: the coarser (smaller fp) of the two inputs
+			// can represent both ranges; requantize to it, then to OutFP.
+			a := q.byName[n.Inputs[0]].OutFP
+			b := q.byName[n.Inputs[1]].OutFP
+			inFP := a
+			if b < inFP {
+				inFP = b
+			}
+			qn.InFP = inFP
+		case graph.KindMaxPool, graph.KindReLU:
+			qn.InFP = q.byName[n.Inputs[0]].OutFP
+		case graph.KindSoftmax:
+			// Executed in float on the host (argmax of logits in practice).
+			qn.InFP = q.byName[n.Inputs[0]].OutFP
+			qn.OutFP = qn.InFP
+		case graph.KindBatchNorm:
+			return nil, fmt.Errorf("quant: node %q: batch norm must be folded before quantization", n.Name)
+		default:
+			return nil, fmt.Errorf("quant: unsupported node kind %s", n.Kind)
+		}
+		q.Nodes = append(q.Nodes, qn)
+		q.byName[qn.Name] = qn
+	}
+	q.OutputName = g.OutputName
+	out := g.Output()
+	q.NumClasses = out.OutShape[0]
+	return q, nil
+}
+
+func quantizeWeights(n *graph.Node, opt Options) ([]int8, FixPos) {
+	if !opt.PerChannelWeights || n.Kind != graph.KindConv {
+		return mustQuantizeTensor(n.Weight)
+	}
+	// Per-output-channel fix positions; the stored tensor uses the finest
+	// common representable grid per channel, tracked via one fp per channel.
+	// To keep the executor simple we still emit a single weight buffer and
+	// pick the per-tensor fp as the min over channels — per-channel mode
+	// only changes *rounding*: each channel is rounded on its own grid and
+	// then re-expressed on the common grid, reducing rounding error for
+	// small-magnitude channels.
+	kk := n.Kernel * n.Kernel
+	per := n.InC * kk
+	common := BestFixPos(n.Weight.MaxAbs())
+	out := make([]int8, n.Weight.Len())
+	for oc := 0; oc < n.OutC; oc++ {
+		row := n.Weight.Data[oc*per : (oc+1)*per]
+		var m float32
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		chFP := BestFixPos(m)
+		if chFP < common {
+			chFP = common
+		}
+		// Round on the fine per-channel grid, then shift to the common grid.
+		shift := int(chFP - common)
+		for i, v := range row {
+			q := QuantizeValue(v, chFP)
+			out[oc*per+i] = RoundShift(int64(q), shift)
+		}
+	}
+	return out, common
+}
+
+func mustQuantizeTensor(t *tensor.Tensor) ([]int8, FixPos) {
+	q, fp := QuantizeTensor(t)
+	return q, fp
+}
+
+func quantizeBias(bias []float32, fp FixPos) []int32 {
+	out := make([]int32, len(bias))
+	scale := float64(fp.Scale())
+	for i, b := range bias {
+		v := float64(b) * scale
+		switch {
+		case v > 2147483000:
+			out[i] = 2147483000
+		case v < -2147483000:
+			out[i] = -2147483000
+		default:
+			out[i] = int32(roundHalfAway(v))
+		}
+	}
+	return out
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return -float64(int64(-v + 0.5))
+}

@@ -1,0 +1,156 @@
+// Package quant implements the SENECA INT8 quantization flow of paper
+// Section III-D — the Go analog of the Vitis AI quantizer. It provides:
+//
+//   - DPU-style symmetric INT8 quantization with power-of-two scales ("fix
+//     positions"), so requantization is a bit shift as on the DPUCZDX8G;
+//   - batch-norm folding into preceding convolutions and dropout elision
+//     (the quantizer "folds batch-normalization layers and removes nodes
+//     not required for inference");
+//   - Post-Training Quantization (PTQ) with an unlabeled calibration set;
+//   - Fast Finetuning Quantization (FFQ), an AdaQuant-style [29] layer-wise
+//     output-matching correction;
+//   - Quantization-Aware Training (QAT) via fake-quantized weights with a
+//     straight-through estimator;
+//   - a functional INT8 executor for the quantized graph (int8×int8→int32),
+//     reused by the DPU simulator.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"seneca/internal/tensor"
+)
+
+// FixPos is a power-of-two scale exponent: a real value x is stored as
+// round(x·2^fp) in int8. Larger fp means finer resolution and smaller range.
+type FixPos int
+
+// Scale returns 2^fp.
+func (fp FixPos) Scale() float32 { return float32(math.Pow(2, float64(fp))) }
+
+// InvScale returns 2^-fp.
+func (fp FixPos) InvScale() float32 { return float32(math.Pow(2, -float64(fp))) }
+
+// BestFixPos returns the largest fix position whose representable range
+// [-128, 127]·2^-fp still covers ±maxAbs — the standard Vitis AI choice.
+// The result is clamped to [-16, 16] to keep shifts well-formed even for
+// degenerate (all-zero or huge) tensors.
+func BestFixPos(maxAbs float32) FixPos {
+	if maxAbs <= 0 || math.IsNaN(float64(maxAbs)) {
+		return 16
+	}
+	fp := int(math.Floor(math.Log2(127 / float64(maxAbs))))
+	if fp > 16 {
+		fp = 16
+	}
+	if fp < -16 {
+		fp = -16
+	}
+	return FixPos(fp)
+}
+
+// QuantizeValue converts one float to int8 at the given fix position with
+// round-half-away-from-zero and saturation.
+func QuantizeValue(x float32, fp FixPos) int8 {
+	v := float64(x) * math.Pow(2, float64(fp))
+	r := math.Round(v)
+	if r > 127 {
+		r = 127
+	}
+	if r < -128 {
+		r = -128
+	}
+	return int8(r)
+}
+
+// DequantizeValue converts an int8 back to float at the given fix position.
+func DequantizeValue(q int8, fp FixPos) float32 {
+	return float32(q) * fp.InvScale()
+}
+
+// QuantizeSlice quantizes a float slice into dst at the given fix position.
+func QuantizeSlice(src []float32, fp FixPos, dst []int8) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("quant: QuantizeSlice length mismatch %d vs %d", len(dst), len(src)))
+	}
+	scale := math.Pow(2, float64(fp))
+	for i, x := range src {
+		v := math.Round(float64(x) * scale)
+		if v > 127 {
+			v = 127
+		}
+		if v < -128 {
+			v = -128
+		}
+		dst[i] = int8(v)
+	}
+}
+
+// DequantizeSlice expands int8 values back into float32.
+func DequantizeSlice(src []int8, fp FixPos, dst []float32) {
+	inv := fp.InvScale()
+	for i, q := range src {
+		dst[i] = float32(q) * inv
+	}
+}
+
+// QuantizeDequantize projects a float slice onto the int8 grid and back —
+// the fake-quantization operation used by QAT.
+func QuantizeDequantize(x []float32, fp FixPos) {
+	scale := math.Pow(2, float64(fp))
+	inv := 1 / scale
+	for i, v := range x {
+		q := math.Round(float64(v) * scale)
+		if q > 127 {
+			q = 127
+		}
+		if q < -128 {
+			q = -128
+		}
+		x[i] = float32(q * inv)
+	}
+}
+
+// QuantizeTensor quantizes a tensor at its best per-tensor fix position and
+// returns the data plus the position chosen.
+func QuantizeTensor(t *tensor.Tensor) ([]int8, FixPos) {
+	fp := BestFixPos(t.MaxAbs())
+	out := make([]int8, t.Len())
+	QuantizeSlice(t.Data, fp, out)
+	return out, fp
+}
+
+// RequantShift computes the right-shift amount that converts an int32
+// accumulator at fix position accFP to an int8 output at outFP. A negative
+// result means a left shift (rare: output range wider than accumulator
+// grid).
+func RequantShift(accFP, outFP FixPos) int {
+	return int(accFP - outFP)
+}
+
+// RoundShift performs the DPU's round-half-away-from-zero arithmetic right
+// shift with saturation to int8.
+func RoundShift(acc int64, shift int) int8 {
+	var v int64
+	switch {
+	case shift > 0:
+		half := int64(1) << (shift - 1)
+		if acc >= 0 {
+			v = (acc + half) >> shift
+		} else {
+			v = -((-acc + half) >> shift)
+		}
+	case shift < 0:
+		v = acc << (-shift)
+	default:
+		v = acc
+	}
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	return int8(v)
+}

@@ -1,0 +1,152 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seneca/internal/tensor"
+)
+
+func TestBestFixPos(t *testing.T) {
+	cases := []struct {
+		maxAbs float32
+		want   FixPos
+	}{
+		{127, 0},
+		{1, 6},    // 127/1 → 2^6=64 ≤ 127
+		{0.5, 7},  // 0.5·2^7 = 64
+		{100, 0},  // 100·2^0 = 100 ≤ 127
+		{128, -1}, // needs coarser grid
+		{0, 16},   // degenerate
+	}
+	for _, c := range cases {
+		if got := BestFixPos(c.maxAbs); got != c.want {
+			t.Errorf("BestFixPos(%v) = %v, want %v", c.maxAbs, got, c.want)
+		}
+	}
+}
+
+func TestBestFixPosCoversRangeProperty(t *testing.T) {
+	f := func(raw float32) bool {
+		m := float32(math.Abs(float64(raw)))
+		if m == 0 || math.IsInf(float64(m), 0) || math.IsNaN(float64(m)) || m > 1e15 || m < 1e-15 {
+			return true
+		}
+		fp := BestFixPos(m)
+		// The chosen grid must represent ±m without saturation...
+		if float64(m)*math.Pow(2, float64(fp)) > 127.5 && fp > -16 {
+			return false
+		}
+		// ...and be the finest such grid (one step finer would clip),
+		// unless clamped.
+		if fp < 16 && fp > -16 {
+			if float64(m)*math.Pow(2, float64(fp+1)) <= 127 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	f := func(vals []float32) bool {
+		clean := make([]float32, 0, len(vals))
+		var maxAbs float32
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v > 1e6 || v < -1e6 {
+				continue
+			}
+			clean = append(clean, v)
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if len(clean) == 0 || maxAbs == 0 {
+			return true
+		}
+		tt := tensor.FromSlice(clean, len(clean))
+		q, fp := QuantizeTensor(tt)
+		step := float64(fp.InvScale())
+		for i, orig := range clean {
+			back := float64(DequantizeValue(q[i], fp))
+			if math.Abs(back-float64(orig)) > step/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeValueSaturates(t *testing.T) {
+	if q := QuantizeValue(1e9, 0); q != 127 {
+		t.Fatalf("positive saturation: %d", q)
+	}
+	if q := QuantizeValue(-1e9, 0); q != -128 {
+		t.Fatalf("negative saturation: %d", q)
+	}
+}
+
+func TestRoundShift(t *testing.T) {
+	cases := []struct {
+		acc   int64
+		shift int
+		want  int8
+	}{
+		{256, 2, 64},
+		{5, 1, 3},        // 2.5 rounds away from zero
+		{-5, 1, -3},      // -2.5 rounds away from zero
+		{1000, 2, 127},   // saturate high
+		{-1000, 2, -128}, // saturate low
+		{3, 0, 3},
+		{2, -3, 16}, // left shift
+	}
+	for _, c := range cases {
+		if got := RoundShift(c.acc, c.shift); got != c.want {
+			t.Errorf("RoundShift(%d, %d) = %d, want %d", c.acc, c.shift, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeDequantizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float32, 100)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	fp := FixPos(5)
+	QuantizeDequantize(x, fp)
+	once := append([]float32(nil), x...)
+	QuantizeDequantize(x, fp)
+	for i := range x {
+		if x[i] != once[i] {
+			t.Fatalf("fake-quant not idempotent at %d: %v vs %v", i, x[i], once[i])
+		}
+	}
+}
+
+func TestQuantizeBias(t *testing.T) {
+	b := quantizeBias([]float32{1.5, -2.25, 0}, FixPos(2))
+	want := []int32{6, -9, 0}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bias[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+}
+
+func TestFixPosScale(t *testing.T) {
+	if FixPos(3).Scale() != 8 || FixPos(-2).Scale() != 0.25 {
+		t.Fatal("Scale wrong")
+	}
+	if FixPos(3).InvScale() != 0.125 {
+		t.Fatal("InvScale wrong")
+	}
+}

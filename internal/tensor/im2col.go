@@ -1,0 +1,100 @@
+package tensor
+
+import "seneca/internal/par"
+
+// ConvOutSize returns the spatial output size of a convolution with the
+// given input size, kernel, stride and padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// ConvTransposeOutSize returns the spatial output size of a transpose
+// convolution (a.k.a. fractionally-strided convolution) with the given
+// parameters. outPad resolves the output-size ambiguity of strided
+// convolutions; outPad=stride-1 with pad=(kernel-1)/2 yields exact
+// upsampling by the stride factor, which is the U-Net decoder convention.
+func ConvTransposeOutSize(in, kernel, stride, pad, outPad int) int {
+	return (in-1)*stride - 2*pad + kernel + outPad
+}
+
+// Im2Col lowers a single image src with C channels of H×W pixels into the
+// column matrix dst of shape [C*KH*KW, OH*OW], where each column holds the
+// receptive field of one output pixel. Out-of-bounds (padding) positions
+// contribute zeros. dst must have length C*KH*KW*OH*OW.
+//
+// The row index is (c*KH+kh)*KW+kw and the column index is oh*OW+ow, so the
+// matrix multiplies directly against weights reshaped to [Cout, C*KH*KW].
+func Im2Col(src []float32, c, h, w, kh, kw, sh, sw, ph, pw int, dst []float32, oh, ow int) {
+	rows := c * kh * kw
+	if len(dst) != rows*oh*ow {
+		panic("tensor: Im2Col destination has wrong length")
+	}
+	par.ForChunked(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ci := r / (kh * kw)
+			rem := r % (kh * kw)
+			ky := rem / kw
+			kx := rem % kw
+			plane := src[ci*h*w : (ci+1)*h*w]
+			drow := dst[r*oh*ow : (r+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*sh - ph + ky
+				base := oy * ow
+				if iy < 0 || iy >= h {
+					for ox := 0; ox < ow; ox++ {
+						drow[base+ox] = 0
+					}
+					continue
+				}
+				srow := plane[iy*w : (iy+1)*w]
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*sw - pw + kx
+					if ix < 0 || ix >= w {
+						drow[base+ox] = 0
+					} else {
+						drow[base+ox] = srow[ix]
+					}
+				}
+			}
+		}
+	})
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) the column
+// matrix cols of shape [C*KH*KW, OH*OW] back into the image dst with C
+// channels of H×W pixels. dst is overwritten (zeroed first). Positions that
+// fell in padding are discarded.
+func Col2Im(cols []float32, c, h, w, kh, kw, sh, sw, ph, pw int, dst []float32, oh, ow int) {
+	if len(dst) != c*h*w {
+		panic("tensor: Col2Im destination has wrong length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Parallelize over channels: every kernel row of a channel scatters only
+	// into that channel's plane, so channel-level parallelism is race-free.
+	par.For(c, func(ci int) {
+		plane := dst[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				r := (ci*kh+ky)*kw + kx
+				crow := cols[r*oh*ow : (r+1)*oh*ow]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*sh - ph + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					base := oy * ow
+					prow := plane[iy*w : (iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*sw - pw + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						prow[ix] += crow[base+ox]
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"fmt"
+
+	"seneca/internal/par"
+)
+
+// MatMul computes C = A·B for row-major matrices A (m×k) and B (k×n),
+// returning a new m×n tensor. The kernel is parallelized over rows of A and
+// uses an ikj loop order so the inner loop streams both B and C rows, which
+// is the cache-friendly form for row-major data.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.Shape, b.Shape))
+	}
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing m×n tensor c, overwriting it.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	par.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATInto computes C = Aᵀ·B where A is k×m and B is k×n, producing m×n.
+// Used by convolution backward passes (gradient w.r.t. weights).
+func MatMulATInto(c, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulATInto inner dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulATInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	// Parallelize over rows of C (columns of A). Each worker walks the k
+	// dimension once, streaming B.
+	par.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := cd[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBTInto computes C = A·Bᵀ where A is m×k and B is n×k, producing m×n.
+// Used by convolution backward passes (gradient w.r.t. inputs).
+func MatMulBTInto(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulBTInto inner dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulBTInto output shape %v, want [%d %d]", c.Shape, m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	par.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] = s
+			}
+		}
+	})
+}

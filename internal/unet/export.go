@@ -1,0 +1,99 @@
+package unet
+
+import (
+	"seneca/internal/graph"
+	"seneca/internal/tensor"
+)
+
+// Export lowers the trained model into the inference-graph IR for the given
+// input geometry. Weights and inference-time batch-norm affine parameters
+// are deep-copied, so subsequent graph transformations (folding,
+// quantization) never mutate the trainable model.
+func (m *Model) Export(inH, inW int) *graph.Graph {
+	g := graph.New(m.Cfg.InChannels, inH, inW)
+	prev := g.InputName
+
+	convNode := func(l *convLayerRef, input string) string {
+		n := &graph.Node{
+			Name:   l.name,
+			Kind:   graph.KindConv,
+			Inputs: []string{input},
+			Kernel: l.kernel, Stride: l.stride, Pad: l.pad,
+			InC: l.inC, OutC: l.outC,
+			Weight: l.weight.Clone(),
+			Bias:   append([]float32(nil), l.bias...),
+		}
+		g.Add(n)
+		return n.Name
+	}
+
+	block := func(b *convBlock, input string) string {
+		cur := convNode(&convLayerRef{
+			name: b.conv.Name(), kernel: b.conv.Kernel, stride: b.conv.Stride, pad: b.conv.Pad,
+			inC: b.conv.InC, outC: b.conv.OutC,
+			weight: b.conv.Weight.Value, bias: b.conv.Bias.Value.Data,
+		}, input)
+		scale, shift := b.bn.FoldInto()
+		bn := g.Add(&graph.Node{
+			Name: b.bn.Name(), Kind: graph.KindBatchNorm, Inputs: []string{cur},
+			Scale: scale, Shift: shift,
+		})
+		relu := g.Add(&graph.Node{Name: b.relu.Name(), Kind: graph.KindReLU, Inputs: []string{bn.Name}})
+		return relu.Name
+	}
+
+	skips := make([]string, 0, len(m.encoders))
+	for _, e := range m.encoders {
+		prev = block(e.blockA, prev)
+		prev = block(e.blockB, prev)
+		skips = append(skips, prev)
+		pool := g.Add(&graph.Node{Name: e.pool.Name(), Kind: graph.KindMaxPool, Inputs: []string{prev}})
+		drop := g.Add(&graph.Node{Name: e.drop.Name(), Kind: graph.KindDropout, Inputs: []string{pool.Name}})
+		prev = drop.Name
+	}
+	prev = block(m.bottleneck[0], prev)
+	prev = block(m.bottleneck[1], prev)
+	for i, d := range m.decoders {
+		up := g.Add(&graph.Node{
+			Name: d.up.Name(), Kind: graph.KindConvTranspose, Inputs: []string{prev},
+			Kernel: d.up.Kernel, Stride: d.up.Stride, Pad: d.up.Pad, OutPad: d.up.OutPad,
+			InC: d.up.InC, OutC: d.up.OutC,
+			Weight: d.up.Weight.Value.Clone(),
+			Bias:   append([]float32(nil), d.up.Bias.Value.Data...),
+		})
+		skip := skips[len(skips)-1-i]
+		cat := g.Add(&graph.Node{
+			Name: d.up.Name() + ".concat", Kind: graph.KindConcat,
+			Inputs: []string{skip, up.Name},
+		})
+		prev = cat.Name
+		prev = block(d.blockA, prev)
+		prev = block(d.blockB, prev)
+		drop := g.Add(&graph.Node{Name: d.drop.Name(), Kind: graph.KindDropout, Inputs: []string{prev}})
+		prev = drop.Name
+	}
+	head := g.Add(&graph.Node{
+		Name: m.head.Name(), Kind: graph.KindConv, Inputs: []string{prev},
+		Kernel: m.head.Kernel, Stride: m.head.Stride, Pad: m.head.Pad,
+		InC: m.head.InC, OutC: m.head.OutC,
+		Weight: m.head.Weight.Value.Clone(),
+		Bias:   append([]float32(nil), m.head.Bias.Value.Data...),
+	})
+	g.Add(&graph.Node{Name: m.softmax.Name(), Kind: graph.KindSoftmax, Inputs: []string{head.Name}})
+	if err := g.Validate(); err != nil {
+		panic("unet: exported graph invalid: " + err.Error())
+	}
+	if err := g.InferShapes(); err != nil {
+		panic("unet: exported graph shapes: " + err.Error())
+	}
+	return g
+}
+
+// convLayerRef bundles what Export needs from a convolution layer.
+type convLayerRef struct {
+	name                string
+	kernel, stride, pad int
+	inC, outC           int
+	weight              *tensor.Tensor
+	bias                []float32
+}

@@ -1,0 +1,257 @@
+package unet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary model checkpoint layout (little-endian):
+//
+//	magic "SENM" | version u32 | config (name, depth, baseFilters,
+//	inChannels, numClasses, dropout, seed) | paramCount u32 |
+//	per parameter: name | len u32 | float32 values |
+//	bnCount u32 | per batch-norm: name | c u32 | runningMean | runningVar
+const (
+	modelMagic   = "SENM"
+	modelVersion = 1
+)
+
+// Save serializes the model (weights and batch-norm running statistics) so
+// training and deployment can run as separate steps (cmd/seneca-train →
+// cmd/seneca-compile).
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	wu32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	wstr := func(s string) error {
+		if err := wu32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	wf32s := func(vals []float32) error {
+		if err := wu32(uint32(len(vals))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			le.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		_, err := bw.Write(buf)
+		return err
+	}
+	if err := wu32(modelVersion); err != nil {
+		return err
+	}
+	if err := wstr(m.Cfg.Name); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(m.Cfg.Depth), uint32(m.Cfg.BaseFilters), uint32(m.Cfg.InChannels), uint32(m.Cfg.NumClasses)} {
+		if err := wu32(v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, m.Cfg.DropoutRate); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, m.Cfg.Seed); err != nil {
+		return err
+	}
+	if err := wu32(uint32(len(m.params))); err != nil {
+		return err
+	}
+	for _, p := range m.params {
+		if err := wstr(p.Name); err != nil {
+			return err
+		}
+		if err := wf32s(p.Value.Data); err != nil {
+			return err
+		}
+	}
+	bns := m.batchNorms()
+	if err := wu32(uint32(len(bns))); err != nil {
+		return err
+	}
+	for _, bn := range bns {
+		if err := wstr(bn.Name()); err != nil {
+			return err
+		}
+		if err := wf32s(bn.RunningMean); err != nil {
+			return err
+		}
+		if err := wf32s(bn.RunningVar); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save, reconstructing the model.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("unet: reading magic: %w", err)
+	}
+	if string(head) != modelMagic {
+		return nil, fmt.Errorf("unet: bad checkpoint magic %q", head)
+	}
+	ru32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	rstr := func() (string, error) {
+		n, err := ru32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<16 {
+			return "", fmt.Errorf("unet: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	rf32s := func() ([]float32, error) {
+		n, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<28 {
+			return nil, fmt.Errorf("unet: implausible tensor length %d", n)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(le.Uint32(buf[4*i:]))
+		}
+		return out, nil
+	}
+	ver, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != modelVersion {
+		return nil, fmt.Errorf("unet: unsupported checkpoint version %d", ver)
+	}
+	var cfg Config
+	if cfg.Name, err = rstr(); err != nil {
+		return nil, err
+	}
+	var ints [4]uint32
+	for i := range ints {
+		if ints[i], err = ru32(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Depth, cfg.BaseFilters, cfg.InChannels, cfg.NumClasses = int(ints[0]), int(ints[1]), int(ints[2]), int(ints[3])
+	if err := binary.Read(br, le, &cfg.DropoutRate); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &cfg.Seed); err != nil {
+		return nil, err
+	}
+	m := New(cfg)
+
+	nParams, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string][]float32, len(m.params))
+	for _, p := range m.params {
+		byName[p.Name] = p.Value.Data
+	}
+	if int(nParams) != len(m.params) {
+		return nil, fmt.Errorf("unet: checkpoint has %d parameters, model has %d", nParams, len(m.params))
+	}
+	for i := uint32(0); i < nParams; i++ {
+		name, err := rstr()
+		if err != nil {
+			return nil, err
+		}
+		vals, err := rf32s()
+		if err != nil {
+			return nil, err
+		}
+		dst, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unet: checkpoint parameter %q not in model", name)
+		}
+		if len(dst) != len(vals) {
+			return nil, fmt.Errorf("unet: parameter %q has %d values, want %d", name, len(vals), len(dst))
+		}
+		copy(dst, vals)
+	}
+	nBN, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	bnByName := make(map[string]*bnRef)
+	for _, bn := range m.batchNorms() {
+		bnByName[bn.Name()] = &bnRef{mean: bn.RunningMean, variance: bn.RunningVar}
+	}
+	for i := uint32(0); i < nBN; i++ {
+		name, err := rstr()
+		if err != nil {
+			return nil, err
+		}
+		mean, err := rf32s()
+		if err != nil {
+			return nil, err
+		}
+		variance, err := rf32s()
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := bnByName[name]
+		if !ok {
+			return nil, fmt.Errorf("unet: checkpoint batch-norm %q not in model", name)
+		}
+		if len(mean) != len(ref.mean) {
+			return nil, fmt.Errorf("unet: batch-norm %q has %d channels, want %d", name, len(mean), len(ref.mean))
+		}
+		copy(ref.mean, mean)
+		copy(ref.variance, variance)
+	}
+	return m, nil
+}
+
+type bnRef struct{ mean, variance []float32 }
+
+// SaveFile writes the checkpoint to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,69 @@
+package unet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"seneca/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	m := New(cfg)
+	// Touch BN running stats so the round trip carries non-default values.
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 1, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	m.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != m.Cfg {
+		t.Fatalf("config %+v vs %+v", loaded.Cfg, m.Cfg)
+	}
+	// Bit-exact inference agreement.
+	probe := tensor.New(1, 1, 16, 16)
+	for i := range probe.Data {
+		probe.Data[i] = float32(rng.NormFloat64())
+	}
+	want := m.Forward(probe, false)
+	got := loaded.Forward(probe, false)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	m := New(tinyConfig())
+	path := t.TempDir() + "/m.model"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ParamCount() != m.ParamCount() {
+		t.Fatal("parameter count differs")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}

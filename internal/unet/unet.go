@@ -1,0 +1,309 @@
+// Package unet builds the SENECA 2D U-Net models of paper Table II and runs
+// their training-time forward/backward passes, including the encoder/decoder
+// skip connections of Section III-B.
+//
+// Each encoder stack is two 3×3 convolutions (batch-norm + ReLU after each),
+// doubling the filter count going downward, followed by 2×2 max pooling and
+// dropout. Each decoder stack mirrors it with a 3×3 stride-2 transpose
+// convolution for upsampling and a concatenation with the matching encoder
+// feature map, halving the filter count. The head is a 3×3 convolution to
+// NumClasses probability maps through a softmax; predictions are the
+// per-pixel argmax.
+package unet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"seneca/internal/nn"
+	"seneca/internal/tensor"
+)
+
+// Config selects one of the Table II model configurations.
+type Config struct {
+	// Name labels the configuration ("1M" … "16M").
+	Name string
+	// Depth is the number of encoder stacks; the paper's "layers" count is
+	// 2·Depth+1 (encoders + bottleneck + decoders): 9 → Depth 4, 11 → Depth 5.
+	Depth int
+	// BaseFilters is the filter count of the first encoder stack ("Filters"
+	// column of Table II); deeper stacks double it.
+	BaseFilters int
+	// InChannels is 1 for gray-scale CT slices.
+	InChannels int
+	// NumClasses is 6: five organs + background.
+	NumClasses int
+	// DropoutRate is applied after every encoder pool and decoder stack.
+	DropoutRate float32
+	// Seed drives weight initialization and dropout masks.
+	Seed int64
+}
+
+// Layers returns the paper's "Layers" figure for this configuration.
+func (c Config) Layers() int { return 2*c.Depth + 1 }
+
+// TableII returns the five model configurations evaluated in the paper
+// (Table II): 1M (9 layers, 8 filters), 2M (11, 6), 4M (11, 8), 8M (11, 11)
+// and 16M (11, 16).
+func TableII() []Config {
+	base := Config{InChannels: 1, NumClasses: 6, DropoutRate: 0.1, Seed: 1}
+	mk := func(name string, depth, filters int) Config {
+		c := base
+		c.Name = name
+		c.Depth = depth
+		c.BaseFilters = filters
+		return c
+	}
+	return []Config{
+		mk("1M", 4, 8),
+		mk("2M", 5, 6),
+		mk("4M", 5, 8),
+		mk("8M", 5, 11),
+		mk("16M", 5, 16),
+	}
+}
+
+// ConfigByName returns the Table II configuration with the given name.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range TableII() {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("unet: unknown configuration %q (want 1M, 2M, 4M, 8M or 16M)", name)
+}
+
+// convBlock is conv→BN→ReLU, the repeated unit of every stack.
+type convBlock struct {
+	conv *nn.Conv2D
+	bn   *nn.BatchNorm2D
+	relu *nn.ReLU
+}
+
+func newConvBlock(name string, inC, outC int, rng *rand.Rand) *convBlock {
+	return &convBlock{
+		conv: nn.NewConv2D(name+".conv", inC, outC, 3, 1, 1, rng, nil),
+		bn:   nn.NewBatchNorm2D(name+".bn", outC),
+		relu: nn.NewReLU(name + ".relu"),
+	}
+}
+
+func (b *convBlock) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return b.relu.Forward(b.bn.Forward(b.conv.Forward(x, train), train), train)
+}
+
+func (b *convBlock) backward(g *tensor.Tensor) *tensor.Tensor {
+	return b.conv.Backward(b.bn.Backward(b.relu.Backward(g)))
+}
+
+func (b *convBlock) layers() []nn.Layer { return []nn.Layer{b.conv, b.bn, b.relu} }
+
+// encoderStack is two conv blocks, a pool and dropout; it exposes the
+// pre-pool activation as the skip connection.
+type encoderStack struct {
+	blockA, blockB *convBlock
+	pool           *nn.MaxPool2D
+	drop           *nn.Dropout
+	skip           *tensor.Tensor
+}
+
+// decoderStack is the transpose-conv upsample, skip concat, two conv blocks
+// and dropout.
+type decoderStack struct {
+	up             *nn.ConvTranspose2D
+	blockA, blockB *convBlock
+	drop           *nn.Dropout
+	skipChannels   int
+}
+
+// Model is a trainable SENECA U-Net.
+type Model struct {
+	Cfg        Config
+	encoders   []*encoderStack
+	bottleneck [2]*convBlock
+	decoders   []*decoderStack
+	head       *nn.Conv2D
+	softmax    *nn.Softmax
+	params     []*nn.Param
+	layers     []nn.Layer
+}
+
+// New builds a model for the given configuration with deterministic
+// initialization.
+func New(cfg Config) *Model {
+	if cfg.Depth < 1 {
+		panic(fmt.Sprintf("unet: invalid depth %d", cfg.Depth))
+	}
+	if cfg.InChannels < 1 || cfg.NumClasses < 2 || cfg.BaseFilters < 1 {
+		panic(fmt.Sprintf("unet: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg}
+
+	filters := func(level int) int { return cfg.BaseFilters << level }
+
+	inC := cfg.InChannels
+	for i := 0; i < cfg.Depth; i++ {
+		f := filters(i)
+		e := &encoderStack{
+			blockA: newConvBlock(fmt.Sprintf("enc%d.a", i), inC, f, rng),
+			blockB: newConvBlock(fmt.Sprintf("enc%d.b", i), f, f, rng),
+			pool:   nn.NewMaxPool2D(fmt.Sprintf("enc%d.pool", i)),
+			drop:   nn.NewDropout(fmt.Sprintf("enc%d.drop", i), cfg.DropoutRate, cfg.Seed+int64(i)*7919),
+		}
+		m.encoders = append(m.encoders, e)
+		inC = f
+	}
+	fb := filters(cfg.Depth)
+	m.bottleneck[0] = newConvBlock("bottleneck.a", inC, fb, rng)
+	m.bottleneck[1] = newConvBlock("bottleneck.b", fb, fb, rng)
+
+	upC := fb
+	for i := cfg.Depth - 1; i >= 0; i-- {
+		f := filters(i)
+		d := &decoderStack{
+			up:           nn.NewConvTranspose2D(fmt.Sprintf("dec%d.up", i), upC, f, 3, 2, 1, 1, rng, nil),
+			blockA:       newConvBlock(fmt.Sprintf("dec%d.a", i), 2*f, f, rng),
+			blockB:       newConvBlock(fmt.Sprintf("dec%d.b", i), f, f, rng),
+			drop:         nn.NewDropout(fmt.Sprintf("dec%d.drop", i), cfg.DropoutRate, cfg.Seed+int64(i)*104729),
+			skipChannels: f,
+		}
+		m.decoders = append(m.decoders, d)
+		upC = f
+	}
+	m.head = nn.NewConv2D("head.conv", upC, cfg.NumClasses, 3, 1, 1, rng, nil)
+	m.softmax = nn.NewSoftmax("head.softmax")
+
+	for _, e := range m.encoders {
+		m.layers = append(m.layers, e.blockA.layers()...)
+		m.layers = append(m.layers, e.blockB.layers()...)
+		m.layers = append(m.layers, e.pool, e.drop)
+	}
+	m.layers = append(m.layers, m.bottleneck[0].layers()...)
+	m.layers = append(m.layers, m.bottleneck[1].layers()...)
+	for _, d := range m.decoders {
+		m.layers = append(m.layers, d.up)
+		m.layers = append(m.layers, d.blockA.layers()...)
+		m.layers = append(m.layers, d.blockB.layers()...)
+		m.layers = append(m.layers, d.drop)
+	}
+	m.layers = append(m.layers, m.head, m.softmax)
+	for _, l := range m.layers {
+		m.params = append(m.params, l.Params()...)
+	}
+	return m
+}
+
+// Params returns every trainable parameter of the model.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// batchNorms returns every batch-norm layer (running statistics live
+// outside Params and must be checkpointed separately).
+func (m *Model) batchNorms() []*nn.BatchNorm2D {
+	var out []*nn.BatchNorm2D
+	for _, l := range m.layers {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			out = append(out, bn)
+		}
+	}
+	return out
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.Numel()
+	}
+	return n
+}
+
+// MinInputSize returns the smallest square input size the model accepts
+// (spatial dims must survive Depth halvings and stay even).
+func (m *Model) MinInputSize() int { return 1 << (m.Cfg.Depth + 1) }
+
+// Forward runs the network on an NCHW batch (C must equal InChannels and
+// H, W must be divisible by 2^Depth) and returns per-pixel class
+// probabilities, shape [N, NumClasses, H, W].
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Shape[1] != m.Cfg.InChannels {
+		panic(fmt.Sprintf("unet: input %v, want %d channels", x.Shape, m.Cfg.InChannels))
+	}
+	if x.Shape[2]%(1<<m.Cfg.Depth) != 0 || x.Shape[3]%(1<<m.Cfg.Depth) != 0 {
+		panic(fmt.Sprintf("unet: input %v spatial dims must be divisible by %d", x.Shape, 1<<m.Cfg.Depth))
+	}
+	h := x
+	for _, e := range m.encoders {
+		h = e.blockA.forward(h, train)
+		h = e.blockB.forward(h, train)
+		e.skip = h
+		h = e.pool.Forward(h, train)
+		h = e.drop.Forward(h, train)
+	}
+	h = m.bottleneck[0].forward(h, train)
+	h = m.bottleneck[1].forward(h, train)
+	for i, d := range m.decoders {
+		h = d.up.Forward(h, train)
+		skip := m.encoders[len(m.encoders)-1-i].skip
+		h = tensor.ConcatChannels(skip, h)
+		h = d.blockA.forward(h, train)
+		h = d.blockB.forward(h, train)
+		h = d.drop.Forward(h, train)
+	}
+	h = m.head.Forward(h, train)
+	return m.softmax.Forward(h, train)
+}
+
+// Backward propagates dLoss/dProbs through the whole network, accumulating
+// parameter gradients, and returns dLoss/dInput.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := m.softmax.Backward(grad)
+	g = m.head.Backward(g)
+	skipGrads := make([]*tensor.Tensor, len(m.encoders))
+	for i := len(m.decoders) - 1; i >= 0; i-- {
+		d := m.decoders[i]
+		g = d.drop.Backward(g)
+		g = d.blockB.backward(g)
+		g = d.blockA.backward(g)
+		skipG, upG := tensor.SplitChannels(g, d.skipChannels)
+		skipGrads[len(m.encoders)-1-i] = skipG
+		g = d.up.Backward(upG)
+	}
+	g = m.bottleneck[1].backward(g)
+	g = m.bottleneck[0].backward(g)
+	for i := len(m.encoders) - 1; i >= 0; i-- {
+		e := m.encoders[i]
+		g = e.drop.Backward(g)
+		g = e.pool.Backward(g)
+		g.AddInPlace(skipGrads[i])
+		g = e.blockB.backward(g)
+		g = e.blockA.backward(g)
+	}
+	return g
+}
+
+// Predict runs inference and returns the per-pixel argmax class map,
+// flattened to [N*H*W].
+func (m *Model) Predict(x *tensor.Tensor) []uint8 {
+	return tensor.ArgmaxChannels(m.Forward(x, false))
+}
+
+// Summary renders a human-readable per-stack description, in the spirit of
+// Table II.
+func (m *Model) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "U-Net %s: layers=%d baseFilters=%d params=%d\n",
+		m.Cfg.Name, m.Cfg.Layers(), m.Cfg.BaseFilters, m.ParamCount())
+	for i, e := range m.encoders {
+		fmt.Fprintf(&b, "  enc%d: conv %d->%d, conv same, pool, dropout %.2f\n",
+			i, e.blockA.conv.InC, e.blockA.conv.OutC, m.Cfg.DropoutRate)
+	}
+	fmt.Fprintf(&b, "  bottleneck: conv %d->%d ×2\n", m.bottleneck[0].conv.InC, m.bottleneck[0].conv.OutC)
+	for i, d := range m.decoders {
+		fmt.Fprintf(&b, "  dec%d: up %d->%d, concat, conv %d->%d, conv same\n",
+			len(m.decoders)-1-i, d.up.InC, d.up.OutC, d.blockA.conv.InC, d.blockA.conv.OutC)
+	}
+	fmt.Fprintf(&b, "  head: conv %d->%d + softmax\n", m.head.InC, m.head.OutC)
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package unet3d
+
+import (
+	"fmt"
+
+	"seneca/internal/nn"
+	"seneca/internal/par"
+	"seneca/internal/tensor"
+)
+
+// MaxPool3D is 2×2×2/stride-2 max pooling over NCDHW tensors.
+type MaxPool3D struct {
+	LayerName string
+	lastArg   []int32
+	lastD     [3]int
+}
+
+// NewMaxPool3D constructs a 2×2×2 pooling layer.
+func NewMaxPool3D(name string) *MaxPool3D { return &MaxPool3D{LayerName: name} }
+
+// Name implements nn.Layer.
+func (m *MaxPool3D) Name() string { return m.LayerName }
+
+// Params implements nn.Layer.
+func (m *MaxPool3D) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (m *MaxPool3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	if d%2 != 0 || h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("unet3d: MaxPool3D needs even dims, got %v", x.Shape))
+	}
+	od, oh, ow := d/2, h/2, w/2
+	out := tensor.New(n, c, od, oh, ow)
+	arg := make([]int32, n*c*od*oh*ow)
+	vol := d * h * w
+	ovol := od * oh * ow
+	par.For(n*c, func(p int) {
+		src := x.Data[p*vol : (p+1)*vol]
+		dst := out.Data[p*ovol : (p+1)*ovol]
+		adst := arg[p*ovol : (p+1)*ovol]
+		for oz := 0; oz < od; oz++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					bestIdx := int32(-1)
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								idx := ((oz*2+dz)*h+oy*2+dy)*w + ox*2 + dx
+								if bestIdx < 0 || src[idx] > best {
+									best = src[idx]
+									bestIdx = int32(idx)
+								}
+							}
+						}
+					}
+					o := (oz*oh+oy)*ow + ox
+					dst[o] = best
+					adst[o] = bestIdx
+				}
+			}
+		}
+	})
+	if train {
+		m.lastArg = arg
+		m.lastD = [3]int{d, h, w}
+	}
+	return out
+}
+
+// Backward implements nn.Layer.
+func (m *MaxPool3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.lastArg == nil {
+		panic(fmt.Sprintf("unet3d: %s Backward before Forward(train=true)", m.LayerName))
+	}
+	n, c := grad.Shape[0], grad.Shape[1]
+	od, oh, ow := grad.Shape[2], grad.Shape[3], grad.Shape[4]
+	d, h, w := m.lastD[0], m.lastD[1], m.lastD[2]
+	out := tensor.New(n, c, d, h, w)
+	vol := d * h * w
+	ovol := od * oh * ow
+	par.For(n*c, func(p int) {
+		gsrc := grad.Data[p*ovol : (p+1)*ovol]
+		asrc := m.lastArg[p*ovol : (p+1)*ovol]
+		dst := out.Data[p*vol : (p+1)*vol]
+		for i, g := range gsrc {
+			dst[asrc[i]] += g
+		}
+	})
+	return out
+}
+
+// Upsample3D doubles every spatial dimension by nearest-neighbor
+// replication — the decoder upsampling of the 3D baseline (a transpose
+// convolution follows it to mix channels, as in the original 3D U-Net's
+// "up-convolution").
+type Upsample3D struct {
+	LayerName string
+	lastShape []int
+}
+
+// NewUpsample3D constructs a 2× nearest-neighbor upsampler.
+func NewUpsample3D(name string) *Upsample3D { return &Upsample3D{LayerName: name} }
+
+// Name implements nn.Layer.
+func (u *Upsample3D) Name() string { return u.LayerName }
+
+// Params implements nn.Layer.
+func (u *Upsample3D) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (u *Upsample3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, d, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3], x.Shape[4]
+	od, oh, ow := 2*d, 2*h, 2*w
+	out := tensor.New(n, c, od, oh, ow)
+	vol := d * h * w
+	ovol := od * oh * ow
+	par.For(n*c, func(p int) {
+		src := x.Data[p*vol : (p+1)*vol]
+		dst := out.Data[p*ovol : (p+1)*ovol]
+		for z := 0; z < od; z++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					dst[(z*oh+y)*ow+xx] = src[((z/2)*h+y/2)*w+xx/2]
+				}
+			}
+		}
+	})
+	if train {
+		u.lastShape = x.Shape
+	}
+	return out
+}
+
+// Backward implements nn.Layer: gradients of replicated cells sum back.
+func (u *Upsample3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if u.lastShape == nil {
+		panic(fmt.Sprintf("unet3d: %s Backward before Forward(train=true)", u.LayerName))
+	}
+	n, c, d, h, w := u.lastShape[0], u.lastShape[1], u.lastShape[2], u.lastShape[3], u.lastShape[4]
+	out := tensor.New(n, c, d, h, w)
+	od, oh, ow := 2*d, 2*h, 2*w
+	vol := d * h * w
+	ovol := od * oh * ow
+	par.For(n*c, func(p int) {
+		gsrc := grad.Data[p*ovol : (p+1)*ovol]
+		dst := out.Data[p*vol : (p+1)*vol]
+		for z := 0; z < od; z++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					dst[((z/2)*h+y/2)*w+xx/2] += gsrc[(z*oh+y)*ow+xx]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// flatten5D views an NCDHW tensor as NC(D·H)(W) so the 2D building blocks
+// (batch norm, ReLU, softmax, losses) apply unchanged: they only assume
+// "channels × spatial positions".
+func flatten5D(x *tensor.Tensor) *tensor.Tensor {
+	return x.Reshape(x.Shape[0], x.Shape[1], x.Shape[2]*x.Shape[3], x.Shape[4])
+}
+
+// unflatten5D restores the NCDHW view.
+func unflatten5D(x *tensor.Tensor, d, h, w int) *tensor.Tensor {
+	return x.Reshape(x.Shape[0], x.Shape[1], d, h, w)
+}

@@ -1,0 +1,73 @@
+package vart
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// TraceEvent is one Chrome-tracing "complete" event (ph="X").
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`  // microseconds
+	Dur  int64  `json:"dur"` // microseconds
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// Trace is a recorded schedule of a simulated run, exportable in the
+// Chrome tracing (chrome://tracing, Perfetto) JSON format so the VART
+// pipeline — host threads overlapping the two DPU cores — can be inspected
+// visually.
+type Trace struct {
+	Events []TraceEvent
+	Result Result
+}
+
+// Trace records the schedule of a simulated run. Host-thread segments
+// appear under pid 1 ("host"), DPU core segments under pid 2 ("dpu").
+func (r *Runner) Trace(frames int, seed int64) *Trace {
+	t := &Trace{}
+	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
+	res := r.simulate(frames, seed, func(j jobTiming) {
+		t.Events = append(t.Events,
+			TraceEvent{
+				Name: fmt.Sprintf("prepare f%d", j.Frame), Cat: "host", Ph: "X",
+				TS: us(j.PreStart), Dur: us(j.ExecStart - j.PreStart), PID: 1, TID: j.Thread,
+			},
+			TraceEvent{
+				Name: fmt.Sprintf("infer f%d", j.Frame), Cat: "dpu", Ph: "X",
+				TS: us(j.ExecStart), Dur: us(j.ExecFinish - j.ExecStart), PID: 2, TID: j.Core,
+			},
+			TraceEvent{
+				Name: fmt.Sprintf("collect f%d", j.Frame), Cat: "host", Ph: "X",
+				TS: us(j.ExecFinish), Dur: us(j.PostFinish - j.ExecFinish), PID: 1, TID: j.Thread,
+			},
+		)
+	})
+	t.Result = res
+	return t
+}
+
+// WriteJSON emits the trace in Chrome tracing array format.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Events)
+}
+
+// WriteFile writes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,188 @@
+package vart
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seneca/internal/dpu"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+func testRunner(t *testing.T, threads int) (*Runner, []*tensor.Tensor) {
+	t.Helper()
+	cfg := unet.Config{Name: "tiny", Depth: 2, BaseFilters: 8, InChannels: 1, NumClasses: 6, DropoutRate: 0, Seed: 2}
+	m := unet.New(cfg)
+	g := m.Export(32, 32)
+	q, err := quant.QuantizeShapeOnly(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := xmodel.Compile(q, cfg.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	imgs := make([]*tensor.Tensor, 12)
+	for i := range imgs {
+		img := tensor.New(1, 32, 32)
+		for j := range img.Data {
+			img.Data[j] = float32(rng.NormFloat64() * 0.3)
+		}
+		imgs[i] = img
+	}
+	return New(dpu.New(dpu.ZCU104B4096()), prog, threads), imgs
+}
+
+func TestThroughputScalesThenSaturates(t *testing.T) {
+	r, _ := testRunner(t, 1)
+	// Match the paper-scale host/DPU time ratio: at 256×256 the per-frame
+	// DPU latency (≈5–20 ms) is a few times the ARM host overhead, which is
+	// what makes throughput saturate between 2 and 4 threads. The tiny test
+	// model is far faster than the host, so scale the overhead to keep the
+	// ratio.
+	r.HostOverhead = r.Device.TimeFrame(r.Program).Latency
+	res := r.SweepThreads([]int{1, 2, 4, 8}, 500, 0)
+	fps := make([]float64, len(res))
+	for i, rr := range res {
+		fps[i] = rr.FPS()
+	}
+	// The paper's Section IV-B behaviour: gains up to 4 threads…
+	if !(fps[1] > fps[0]*1.5 && fps[2] > fps[1]*1.1) {
+		t.Errorf("throughput does not scale with threads: %v", fps)
+	}
+	// …then saturation (dual-core limit) with no FPS gain at 8 threads.
+	if fps[3] > fps[2]*1.02 {
+		t.Errorf("8 threads should not beat 4: %v", fps)
+	}
+	// But 8 threads must cost more power (more host threads).
+	if res[3].Watts() <= res[2].Watts() {
+		t.Errorf("8-thread power %v not above 4-thread %v", res[3].Watts(), res[2].Watts())
+	}
+	// Hence energy efficiency peaks at 4 threads.
+	if res[3].EnergyEfficiency() >= res[2].EnergyEfficiency() {
+		t.Errorf("EE(8t)=%v should fall below EE(4t)=%v", res[3].EnergyEfficiency(), res[2].EnergyEfficiency())
+	}
+}
+
+func TestDualCoreCap(t *testing.T) {
+	r, _ := testRunner(t, 16)
+	res := r.SimulateThroughput(500, 0)
+	cap := 2 / res.FrameLatency.Seconds()
+	if res.FPS() > cap*1.001 {
+		t.Fatalf("throughput %v exceeds dual-core bound %v", res.FPS(), cap)
+	}
+}
+
+func TestSimulationDeterministicWithZeroSeed(t *testing.T) {
+	r, _ := testRunner(t, 4)
+	a := r.SimulateThroughput(100, 0)
+	b := r.SimulateThroughput(100, 0)
+	if a.FPS() != b.FPS() || a.Joules != b.Joules {
+		t.Fatal("seed-0 simulation not deterministic")
+	}
+	c := r.SimulateThroughput(100, 1)
+	d := r.SimulateThroughput(100, 2)
+	if c.FPS() == d.FPS() {
+		t.Fatal("different seeds should jitter the run")
+	}
+}
+
+func TestRunFunctionalMatchesSequential(t *testing.T) {
+	r, imgs := testRunner(t, 4)
+	masks, res, err := r.Run(imgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masks) != len(imgs) {
+		t.Fatalf("got %d masks", len(masks))
+	}
+	if res.Frames != len(imgs) {
+		t.Fatalf("result frames %d", res.Frames)
+	}
+	// Order-preserving and identical to direct execution.
+	for i, img := range imgs {
+		want, err := r.Program.Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if masks[i][j] != want[j] {
+				t.Fatalf("mask %d differs from sequential execution", i)
+			}
+		}
+	}
+}
+
+func TestHostBoundSingleThread(t *testing.T) {
+	// With one thread, throughput ≈ 1/(latency+host): the DPU idles while
+	// the host prepares the next job.
+	r, _ := testRunner(t, 1)
+	res := r.SimulateThroughput(300, 0)
+	want := 1 / (res.FrameLatency + r.HostOverhead).Seconds()
+	got := res.FPS()
+	if rel := (got - want) / want; rel < -0.05 || rel > 0.05 {
+		t.Fatalf("1-thread FPS %v, want ≈%v", got, want)
+	}
+	if res.CoreBusyFrac > 0.6 {
+		t.Fatalf("single thread should leave cores mostly idle, busy=%v", res.CoreBusyFrac)
+	}
+}
+
+func TestTraceSchedule(t *testing.T) {
+	r, _ := testRunner(t, 2)
+	tr := r.Trace(10, 0)
+	if len(tr.Events) != 30 { // prepare + infer + collect per frame
+		t.Fatalf("%d events for 10 frames", len(tr.Events))
+	}
+	// Trace result must equal the plain simulation (same event loop).
+	plain := r.SimulateThroughput(10, 0)
+	if tr.Result.FPS() != plain.FPS() {
+		t.Fatalf("trace result diverges: %v vs %v", tr.Result.FPS(), plain.FPS())
+	}
+	// DPU events must never overlap on the same core.
+	type span struct{ ts, end int64 }
+	byCore := map[int][]span{}
+	for _, ev := range tr.Events {
+		if ev.Cat != "dpu" {
+			continue
+		}
+		if ev.PID != 2 {
+			t.Fatalf("dpu event with pid %d", ev.PID)
+		}
+		byCore[ev.TID] = append(byCore[ev.TID], span{ev.TS, ev.TS + ev.Dur})
+	}
+	for core, spans := range byCore {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].ts < spans[i-1].end {
+				t.Fatalf("core %d: overlapping executions %v after %v", core, spans[i], spans[i-1])
+			}
+		}
+	}
+	// JSON round-trips.
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []TraceEvent
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(tr.Events) {
+		t.Fatal("trace JSON round trip lost events")
+	}
+}
+
+func TestZeroThreadsPanics(t *testing.T) {
+	r, _ := testRunner(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threads accepted")
+		}
+	}()
+	r.SimulateThroughput(10, 0)
+}

@@ -1,0 +1,295 @@
+package xmodel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"seneca/internal/graph"
+	"seneca/internal/quant"
+)
+
+// Binary xmodel layout (little-endian):
+//
+//	magic "XMDL" | version u32 | name | inC,inH,inW i32 | inputFP i32 |
+//	numClasses i32 | outputName | nodeCount u32 | nodes...
+//
+// Each node:
+//
+//	name | kind u8 | inputCount u32 | inputs... | kernel,stride,pad,outPad,
+//	inC,outC i32 | inFP,outFP,weightFP i32 | fusedReLU u8 |
+//	outShape 3×i32 | weightLen u32 | weights (int8) | biasLen u32 | bias (i32)
+//
+// Strings are u32 length + bytes. Instructions are not stored; they are
+// deterministically re-derived from the graph on load.
+const (
+	magic   = "XMDL"
+	version = 1
+)
+
+// Write serializes the program.
+func (p *Program) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	wu32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	wi32 := func(v int32) error { return binary.Write(bw, le, v) }
+	wstr := func(s string) error {
+		if err := wu32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := wu32(version); err != nil {
+		return err
+	}
+	if err := wstr(p.Name); err != nil {
+		return err
+	}
+	g := p.Graph
+	for _, v := range []int32{int32(g.InC), int32(g.InH), int32(g.InW), int32(g.InputFP), int32(g.NumClasses)} {
+		if err := wi32(v); err != nil {
+			return err
+		}
+	}
+	if err := wstr(g.OutputName); err != nil {
+		return err
+	}
+	if err := wu32(uint32(len(g.Nodes))); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		if err := wstr(n.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(n.Kind)); err != nil {
+			return err
+		}
+		if err := wu32(uint32(len(n.Inputs))); err != nil {
+			return err
+		}
+		for _, in := range n.Inputs {
+			if err := wstr(in); err != nil {
+				return err
+			}
+		}
+		ints := []int32{
+			int32(n.Kernel), int32(n.Stride), int32(n.Pad), int32(n.OutPad),
+			int32(n.InC), int32(n.OutC),
+			int32(n.InFP), int32(n.OutFP), int32(n.WeightFP),
+		}
+		for _, v := range ints {
+			if err := wi32(v); err != nil {
+				return err
+			}
+		}
+		relu := byte(0)
+		if n.FusedReLU {
+			relu = 1
+		}
+		if err := bw.WriteByte(relu); err != nil {
+			return err
+		}
+		for _, v := range n.OutShape {
+			if err := wi32(int32(v)); err != nil {
+				return err
+			}
+		}
+		if err := wu32(uint32(len(n.Weight))); err != nil {
+			return err
+		}
+		for _, q := range n.Weight {
+			if err := bw.WriteByte(byte(q)); err != nil {
+				return err
+			}
+		}
+		if err := wu32(uint32(len(n.Bias))); err != nil {
+			return err
+		}
+		for _, b := range n.Bias {
+			if err := wi32(b); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a program and re-derives its instruction schedule.
+func Read(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("xmodel: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("xmodel: bad magic %q", head)
+	}
+	le := binary.LittleEndian
+	ru32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	ri32 := func() (int32, error) {
+		var v int32
+		err := binary.Read(br, le, &v)
+		return v, err
+	}
+	rstr := func() (string, error) {
+		n, err := ru32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("xmodel: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	ver, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("xmodel: unsupported version %d", ver)
+	}
+	name, err := rstr()
+	if err != nil {
+		return nil, err
+	}
+	g := &quant.QGraph{}
+	var geo [5]int32
+	for i := range geo {
+		if geo[i], err = ri32(); err != nil {
+			return nil, err
+		}
+	}
+	g.InC, g.InH, g.InW = int(geo[0]), int(geo[1]), int(geo[2])
+	g.InputFP = quant.FixPos(geo[3])
+	g.NumClasses = int(geo[4])
+	if g.OutputName, err = rstr(); err != nil {
+		return nil, err
+	}
+	count, err := ru32()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("xmodel: implausible node count %d", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		n := &quant.QNode{}
+		if n.Name, err = rstr(); err != nil {
+			return nil, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		n.Kind = graph.Kind(kind)
+		nIn, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nIn; j++ {
+			in, err := rstr()
+			if err != nil {
+				return nil, err
+			}
+			n.Inputs = append(n.Inputs, in)
+		}
+		var ints [9]int32
+		for j := range ints {
+			if ints[j], err = ri32(); err != nil {
+				return nil, err
+			}
+		}
+		n.Kernel, n.Stride, n.Pad, n.OutPad = int(ints[0]), int(ints[1]), int(ints[2]), int(ints[3])
+		n.InC, n.OutC = int(ints[4]), int(ints[5])
+		n.InFP, n.OutFP, n.WeightFP = quant.FixPos(ints[6]), quant.FixPos(ints[7]), quant.FixPos(ints[8])
+		relu, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		n.FusedReLU = relu != 0
+		for j := 0; j < 3; j++ {
+			v, err := ri32()
+			if err != nil {
+				return nil, err
+			}
+			n.OutShape[j] = int(v)
+		}
+		wlen, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if wlen > 1<<28 {
+			return nil, fmt.Errorf("xmodel: implausible weight length %d", wlen)
+		}
+		wbuf := make([]byte, wlen)
+		if _, err := io.ReadFull(br, wbuf); err != nil {
+			return nil, err
+		}
+		n.Weight = make([]int8, wlen)
+		for j, b := range wbuf {
+			n.Weight[j] = int8(b)
+		}
+		blen, err := ru32()
+		if err != nil {
+			return nil, err
+		}
+		if blen > 1<<24 {
+			return nil, fmt.Errorf("xmodel: implausible bias length %d", blen)
+		}
+		n.Bias = make([]int32, blen)
+		for j := range n.Bias {
+			if n.Bias[j], err = ri32(); err != nil {
+				return nil, err
+			}
+		}
+		if n.Kind == graph.KindInput {
+			g.InputName = n.Name
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	g.RebuildIndex()
+	// Re-derive the schedule: the stored graph is already fused, and
+	// Compile's fusion pass is idempotent on fused graphs.
+	prog, err := Compile(g, name)
+	if err != nil {
+		return nil, fmt.Errorf("xmodel: recompiling loaded graph: %w", err)
+	}
+	return prog, nil
+}
+
+// WriteFile serializes the program to path.
+func (p *Program) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a program from path.
+func ReadFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,199 @@
+package xmodel
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"seneca/internal/graph"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+)
+
+func compiledTestProgram(t *testing.T) (*Program, *quant.QGraph, []*tensor.Tensor) {
+	t.Helper()
+	cfg := unet.Config{Name: "tiny", Depth: 2, BaseFilters: 4, InChannels: 1, NumClasses: 6, DropoutRate: 0.1, Seed: 11}
+	m := unet.New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	warm := tensor.New(2, 1, 16, 16)
+	for i := range warm.Data {
+		warm.Data[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	m.Forward(warm, true)
+	g := m.Export(16, 16)
+	var calib []*tensor.Tensor
+	for i := 0; i < 6; i++ {
+		img := tensor.New(1, 16, 16)
+		for j := range img.Data {
+			img.Data[j] = float32(rng.NormFloat64() * 0.5)
+		}
+		calib = append(calib, img)
+	}
+	q, err := quant.PTQ(g, calib, quant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(q, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, q, calib
+}
+
+func TestCompileFusesReLU(t *testing.T) {
+	prog, q, _ := compiledTestProgram(t)
+	var reluNodes, fusedConvs int
+	for _, n := range prog.Graph.Nodes {
+		if n.Kind == graph.KindReLU {
+			reluNodes++
+		}
+		if (n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose) && n.FusedReLU {
+			fusedConvs++
+		}
+	}
+	if reluNodes != 0 {
+		t.Errorf("%d standalone ReLU nodes survived fusion", reluNodes)
+	}
+	if fusedConvs == 0 {
+		t.Error("no convolutions carry a fused ReLU")
+	}
+	// Fusion must not mutate the source graph.
+	for _, n := range q.Nodes {
+		if n.FusedReLU {
+			t.Fatalf("Compile mutated input graph node %q", n.Name)
+		}
+	}
+}
+
+func TestCompiledProgramMatchesQuantizedGraph(t *testing.T) {
+	prog, q, calib := compiledTestProgram(t)
+	for _, img := range calib {
+		want, err := q.ExecuteLabels(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prog.Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mismatch := 0
+		for i := range want {
+			if got[i] != want[i] {
+				mismatch++
+			}
+		}
+		// ReLU fusion changes only the scale at which intermediate
+		// activations are stored (finer post-ReLU grid), so predictions may
+		// flip on a tiny fraction of boundary pixels.
+		if frac := float64(mismatch) / float64(len(want)); frac > 0.05 {
+			t.Fatalf("fused program disagrees with quantized graph on %.1f%% of pixels", frac*100)
+		}
+	}
+}
+
+func TestInstructionStreamStructure(t *testing.T) {
+	prog, _, _ := compiledTestProgram(t)
+	if len(prog.Instructions) == 0 {
+		t.Fatal("no instructions")
+	}
+	last := prog.Instructions[len(prog.Instructions)-1]
+	if last.Op != OpSave {
+		t.Fatalf("last instruction %s, want SAVE", last.Op)
+	}
+	var convs, pools, concats int
+	for _, in := range prog.Instructions {
+		switch in.Op {
+		case OpConv:
+			convs++
+			if in.MACs <= 0 || in.WeightBytes <= 0 {
+				t.Errorf("conv %q has empty workload: %+v", in.Node, in)
+			}
+		case OpDConv:
+			if in.MACs <= 0 {
+				t.Errorf("dconv %q has no MACs", in.Node)
+			}
+		case OpPool:
+			pools++
+		case OpConcat:
+			concats++
+		}
+	}
+	// Depth-2 U-Net: 4 encoder convs + 2 bottleneck + 4 decoder convs +
+	// head = 11 convs; 2 pools; 2 concats.
+	if convs != 11 {
+		t.Errorf("%d CONV instructions, want 11", convs)
+	}
+	if pools != 2 || concats != 2 {
+		t.Errorf("pools/concats = %d/%d, want 2/2", pools, concats)
+	}
+}
+
+func TestStatsPositive(t *testing.T) {
+	prog, _, _ := compiledTestProgram(t)
+	s := prog.Stats()
+	if s.MACs <= 0 || s.WeightBytes <= 0 || s.FeatureMapBytes <= 0 {
+		t.Fatalf("stats not positive: %+v", s)
+	}
+	if s.Instructions != len(prog.Instructions) {
+		t.Fatalf("instruction count mismatch")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	prog, _, calib := compiledTestProgram(t)
+	var buf bytes.Buffer
+	if err := prog.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != prog.Name {
+		t.Fatalf("name %q", loaded.Name)
+	}
+	if len(loaded.Instructions) != len(prog.Instructions) {
+		t.Fatalf("instruction count %d vs %d", len(loaded.Instructions), len(prog.Instructions))
+	}
+	// Bit-exact functional agreement.
+	for _, img := range calib {
+		want, err := prog.Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("loaded program disagrees at pixel %d", i)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not an xmodel at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	prog, _, _ := compiledTestProgram(t)
+	path := t.TempDir() + "/m.xmodel"
+	if err := prog.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != prog.Stats() {
+		t.Fatal("stats differ after file round trip")
+	}
+}

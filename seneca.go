@@ -1,0 +1,179 @@
+// Package seneca is the public API of SENECA-Go, a from-scratch Go
+// reproduction of "On How to Push Efficient Medical Semantic Segmentation
+// to the Edge: the SENECA approach" (Berzoini, D'Arnese, Conficconi —
+// IPDPSW 2022).
+//
+// The workflow mirrors the paper's Figure 1:
+//
+//	A  data preparation      GeneratePhantomCohort / BuildDataset
+//	B  model definition      TableII / NewModel
+//	C  FP32 training         Train (weighted Focal Tversky loss)
+//	D  INT8 quantization     RunPipeline / Deploy (PTQ with a curated
+//	                         calibration set; FFQ and QAT available)
+//	E  compile + deploy      the compiled Program runs on the simulated
+//	                         dual-core DPUCZDX8G-B4096 via NewRunner
+//
+// Quick start:
+//
+//	vols := seneca.GeneratePhantomCohort(10, seneca.PhantomOptions{
+//		Size: 128, Slices: 20, Seed: 1, NoiseSigma: 12})
+//	ds := seneca.BuildDataset(vols, 64)
+//	train, _, test := ds.Split(0.8, 0, 1)
+//	cfg, _ := seneca.ConfigByName("1M")
+//	art, err := seneca.RunPipeline(train, seneca.DefaultPipelineConfig(cfg))
+//	...
+//	runner := seneca.NewRunner(seneca.NewZCU104(), art.Program, 4)
+//	masks, result, err := runner.Run(test.Images(indices), 1)
+//
+// Every table and figure of the paper can be regenerated through the
+// Experiments entry points (see also cmd/seneca-bench and bench_test.go).
+package seneca
+
+import (
+	"io"
+
+	"seneca/internal/core"
+	"seneca/internal/ctorg"
+	"seneca/internal/dpu"
+	"seneca/internal/experiments"
+	"seneca/internal/gpusim"
+	"seneca/internal/metrics"
+	"seneca/internal/phantom"
+	"seneca/internal/unet"
+	"seneca/internal/vart"
+	"seneca/internal/xmodel"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Re-exported core types. Aliases keep the full method sets of the
+// underlying implementations available to importers.
+type (
+	// ModelConfig selects a U-Net architecture (paper Table II).
+	ModelConfig = unet.Config
+	// Model is a trainable FP32 U-Net.
+	Model = unet.Model
+	// Dataset is a set of preprocessed CT slices with ground truth.
+	Dataset = ctorg.Dataset
+	// PhantomOptions controls synthetic CT-ORG cohort generation.
+	PhantomOptions = phantom.Options
+	// PhantomVolume is one synthetic patient (CT + labels, NIfTI-backed).
+	PhantomVolume = phantom.Volume
+	// TrainConfig controls FP32 training (Figure 1-C).
+	TrainConfig = core.TrainConfig
+	// PipelineConfig controls the full train→quantize→compile workflow.
+	PipelineConfig = core.PipelineConfig
+	// Artifacts bundles the products of the workflow.
+	Artifacts = core.Artifacts
+	// Program is a compiled xmodel executable on the DPU.
+	Program = xmodel.Program
+	// DPU is the simulated ZCU104 accelerator.
+	DPU = dpu.Device
+	// GPU is the simulated RTX 2060 Mobile baseline.
+	GPU = gpusim.Device
+	// Runner is the VART-like asynchronous inference runtime.
+	Runner = vart.Runner
+	// RunResult reports throughput, power and energy efficiency (Eq. 3).
+	RunResult = vart.Result
+	// Confusion accumulates segmentation metrics (Eq. 4–6).
+	Confusion = metrics.Confusion
+	// Summary is a mean±std pair as reported in Tables IV–V.
+	Summary = metrics.Summary
+	// ExperimentScale selects fast or paper-scale experiment geometry.
+	ExperimentScale = experiments.Scale
+	// Experiments is the per-table/per-figure harness environment.
+	Experiments = experiments.Env
+)
+
+// Calibration and quantization mode constants.
+const (
+	CalibRandom = core.CalibRandom
+	CalibManual = core.CalibManual
+	QuantPTQ    = core.QuantPTQ
+	QuantFFQ    = core.QuantFFQ
+	QuantQAT    = core.QuantQAT
+)
+
+// TableII returns the five model configurations evaluated in the paper.
+func TableII() []ModelConfig { return unet.TableII() }
+
+// ConfigByName resolves "1M", "2M", "4M", "8M" or "16M".
+func ConfigByName(name string) (ModelConfig, error) { return unet.ConfigByName(name) }
+
+// NewModel builds a U-Net with deterministic initialization.
+func NewModel(cfg ModelConfig) *Model { return unet.New(cfg) }
+
+// LoadModel reads a checkpoint written by (*Model).SaveFile.
+func LoadModel(path string) (*Model, error) { return unet.LoadFile(path) }
+
+// GeneratePhantomCohort builds n synthetic CT-ORG-like patients.
+func GeneratePhantomCohort(n int, opt PhantomOptions) []*PhantomVolume {
+	return phantom.GenerateDataset(n, opt)
+}
+
+// BuildDataset preprocesses volumes to size×size training slices (paper
+// Section III-A pipeline: downsample, contrast saturation, [-1,1] rescale).
+func BuildDataset(vols []*PhantomVolume, size int) *Dataset { return ctorg.Build(vols, size) }
+
+// DefaultTrainConfig returns the fast-mode training settings.
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// DefaultPipelineConfig returns the paper's deployed workflow configuration
+// for a model.
+func DefaultPipelineConfig(cfg ModelConfig) PipelineConfig { return core.DefaultPipelineConfig(cfg) }
+
+// Train fits a configuration on a dataset (Figure 1-C).
+func Train(cfg ModelConfig, train *Dataset, tc TrainConfig) (*Model, core.TrainReport, error) {
+	return core.Train(cfg, train, tc)
+}
+
+// RunPipeline executes the complete workflow: train, calibrate, quantize,
+// compile (Figure 1 A–E).
+func RunPipeline(train *Dataset, cfg PipelineConfig) (*Artifacts, error) {
+	return core.RunPipeline(train, cfg)
+}
+
+// Deploy quantizes and compiles an already-trained model (Figure 1 D–E).
+func Deploy(m *Model, train *Dataset, cfg PipelineConfig) (*Artifacts, error) {
+	return core.Deploy(m, train, cfg, core.TrainReport{})
+}
+
+// NewZCU104 returns the paper's edge device: a dual-core DPUCZDX8G-B4096 on
+// the ZCU104 evaluation board.
+func NewZCU104() *DPU { return dpu.New(dpu.ZCU104B4096()) }
+
+// NewRTX2060Mobile returns the paper's GPU baseline device model.
+func NewRTX2060Mobile() *GPU { return gpusim.New(gpusim.RTX2060Mobile()) }
+
+// NewRunner constructs the asynchronous inference runtime with the given
+// thread count (the paper deploys 4).
+func NewRunner(dev *DPU, prog *Program, threads int) *Runner { return vart.New(dev, prog, threads) }
+
+// EvaluateFP32 measures the FP32 model on a dataset.
+func EvaluateFP32(m *Model, ds *Dataset, batch int) *Confusion {
+	return core.EvaluateFP32(m, ds, batch)
+}
+
+// EvaluateINT8 measures the compiled INT8 program (bit-accurate) on a
+// dataset.
+func EvaluateINT8(p *Program, ds *Dataset) (*Confusion, error) { return core.EvaluateINT8(p, ds) }
+
+// LoadProgram reads a compiled .xmodel file.
+func LoadProgram(path string) (*Program, error) { return xmodel.ReadFile(path) }
+
+// FastScale returns the CI/bench experiment scale; PaperScale the full
+// Section IV geometry.
+func FastScale() ExperimentScale { return experiments.FastScale() }
+
+// PaperScale returns the full replication geometry.
+func PaperScale() ExperimentScale { return experiments.PaperScale() }
+
+// TinyScale returns the seconds-scale harness used by unit tests.
+func TinyScale() ExperimentScale { return experiments.TinyScale() }
+
+// NewExperiments builds the experiment environment (datasets + device
+// models) at the given scale. Progress lines go to log (nil silences).
+func NewExperiments(s ExperimentScale, log io.Writer) *Experiments {
+	return experiments.NewEnv(s, log)
+}
