@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci build vet test race fmt-check bench
+
+# ci is the gate GitHub Actions runs: formatting, build, vet, race tests.
+ci: fmt-check build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

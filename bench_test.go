@@ -311,7 +311,9 @@ func BenchmarkVARTSimulation(b *testing.B) {
 	runner := vart.New(seneca.NewZCU104(), prog, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runner.SimulateThroughput(2000, 1)
+		if _, err := runner.SimulateThroughput(2000, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

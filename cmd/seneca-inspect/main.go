@@ -66,7 +66,10 @@ func main() {
 
 	if *tracePath != "" {
 		runner := vart.New(dev, prog, *threads)
-		tr := runner.Trace(*frames, 1)
+		tr, err := runner.Trace(*frames, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := tr.WriteFile(*tracePath); err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,65 @@
+// Command seneca-loadgen drives a running seneca-serve instance with
+// closed-loop load and prints a latency/throughput table per concurrency
+// level — the serving-side analog of the paper's thread-scaling sweep
+// (Section IV-B / Figure 3).
+//
+// Usage:
+//
+//	seneca-loadgen -addr http://localhost:8080 -conc 1,2,4,8,16,32 -requests 200
+//
+// The generator asks GET /statz for the model's input geometry, fabricates
+// a random slice of that shape, and reuses it for every request. 429
+// responses are retried so rejected load stays offered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"seneca/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seneca-loadgen: ")
+
+	addr := flag.String("addr", "http://localhost:8080", "base URL of a running seneca-serve")
+	concList := flag.String("conc", "1,2,4,8,16,32", "comma-separated concurrency levels")
+	requests := flag.Int("requests", 200, "completed requests per level")
+	seed := flag.Int64("seed", 7, "input noise seed")
+	flag.Parse()
+
+	var concs []int
+	for _, f := range strings.Split(*concList, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			log.Fatalf("bad -conc entry %q", f)
+		}
+		concs = append(concs, c)
+	}
+
+	shape, err := serve.FetchInputShape(*addr)
+	if err != nil {
+		log.Fatalf("cannot reach %s: %v", *addr, err)
+	}
+	n := shape[0] * shape[1] * shape[2]
+	rng := rand.New(rand.NewSource(*seed))
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	body := serve.EncodeInput(data)
+
+	fmt.Printf("sweeping %s (model input %d×%d×%d), %d requests per level\n\n",
+		*addr, shape[0], shape[1], shape[2], *requests)
+	points, err := serve.SweepLoad(*addr, body, "application/octet-stream", concs, *requests)
+	serve.FormatSweep(os.Stdout, points)
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -70,7 +70,10 @@ func main() {
 		dev.Cfg.Name, *threads, *frames, *runs)
 	var fps, watts, ee float64
 	for r := 0; r < *runs; r++ {
-		res := runner.SimulateThroughput(*frames, *seed+int64(r)+1)
+		res, err := runner.SimulateThroughput(*frames, *seed+int64(r)+1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fps += res.FPS()
 		watts += res.Watts()
 		ee += res.EnergyEfficiency()

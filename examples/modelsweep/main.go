@@ -43,12 +43,15 @@ func main() {
 		runner := seneca.NewRunner(dev, prog, 1)
 		var fps [4]float64
 		var ee4 float64
-		for i, t := range []int{1, 2, 4, 8} {
-			runner.Threads = t
-			r := runner.SimulateThroughput(frames, 0)
-			fps[i] = r.FPS()
+		threadCounts := []int{1, 2, 4, 8}
+		swept, err := runner.SweepThreads(threadCounts, frames, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, t := range threadCounts {
+			fps[i] = swept[i].FPS()
 			if t == 4 {
-				ee4 = r.EnergyEfficiency()
+				ee4 = swept[i].EnergyEfficiency()
 			}
 		}
 		fmt.Printf("%-5s %8.1f | %8.1f %8.1f %8.1f %8.1f | %8.2f %8.2f | %7.2f×\n",

@@ -64,7 +64,10 @@ func main() {
 	// Deployment: 4 runtime threads on the dual-core DPU.
 	dev := seneca.NewZCU104()
 	runner := seneca.NewRunner(dev, art.Program, 4)
-	res := runner.SimulateThroughput(2000, 1)
+	res, err := runner.SimulateThroughput(2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("ZCU104 (4 threads): %s\n", res.Report)
 
 	// GPU baseline on the same network.

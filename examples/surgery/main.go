@@ -61,7 +61,10 @@ func main() {
 	frame := dev.TimeFrame(art.Program)
 	perFrameLatency := frame.Latency + runner.HostOverhead
 	totalFrames := scannerFPS * procedureSec
-	res := runner.SimulateThroughput(totalFrames, 11)
+	res, err := runner.SimulateThroughput(totalFrames, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("device frame latency: %v (+%v host) per slice\n", frame.Latency, runner.HostOverhead)
 	fmt.Printf("sustained throughput: %.1f FPS at %.2f W → %.2f FPS/W\n",

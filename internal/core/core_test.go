@@ -43,6 +43,9 @@ var cachedArt *Artifacts
 
 func fastArtifacts(t *testing.T) *Artifacts {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("training pipeline is too slow under the race detector")
+	}
 	if cachedArt != nil {
 		return cachedArt
 	}
@@ -172,6 +175,9 @@ func TestDeployCalibrationModes(t *testing.T) {
 }
 
 func TestQuantModesAllRun(t *testing.T) {
+	if raceEnabled {
+		t.Skip("training pipeline is too slow under the race detector")
+	}
 	train, test := fastDataset(t)
 	base := DefaultPipelineConfig(fastModelConfig())
 	base.Train = fastTrainConfig()

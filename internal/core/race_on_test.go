@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// training-bound integration tests skip under -race: they are pure
+// CPU-bound math, roughly 10× slower with the detector on, and blow the
+// test timeout without exercising any interesting concurrency.
+const raceEnabled = true

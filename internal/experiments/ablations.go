@@ -84,9 +84,13 @@ func (e *Env) AblationThreadScaling(w io.Writer, cfgName string) ([]ThreadScalin
 	var out []ThreadScalingPoint
 	fmt.Fprintf(w, "Ablation — thread scaling (%s on ZCU104)\n", cfgName)
 	fmt.Fprintf(w, "%8s %10s %8s %8s\n", "threads", "FPS", "W", "FPS/W")
-	for _, t := range []int{1, 2, 3, 4, 5, 6, 8} {
-		runner.Threads = t
-		r := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+	threadCounts := []int{1, 2, 3, 4, 5, 6, 8}
+	swept, err := runner.SweepThreads(threadCounts, e.Scale.EvalFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range threadCounts {
+		r := swept[i]
 		p := ThreadScalingPoint{Threads: t, FPS: r.FPS(), Watts: r.Watts(), EE: r.EnergyEfficiency()}
 		out = append(out, p)
 		fmt.Fprintf(w, "%8d %10.1f %8.2f %8.2f\n", p.Threads, p.FPS, p.Watts, p.EE)
@@ -167,7 +171,10 @@ func (e *Env) AblationPruning(w io.Writer, cfgName string, fractions []float64) 
 			params = tprog.Stats().WeightBytes
 		}
 		runner := vart.New(e.DPU, tprog, 4)
-		r := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		r, err := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		if err != nil {
+			return nil, err
+		}
 		p := PruningPoint{Fraction: f, FPS: r.FPS(), EE: r.EnergyEfficiency(), GlobalDSC: conf.GlobalDice(), Params: params}
 		out = append(out, p)
 		fmt.Fprintf(w, "%9.0f%% %10.1f %8.2f %10.4f %12d\n", f*100, p.FPS, p.EE, p.GlobalDSC, p.Params)

@@ -40,7 +40,10 @@ func (e *Env) DPUFamilySweep(w io.Writer, cfgName string) ([]DPUFamilyPoint, err
 	for _, dc := range dpu.Family() {
 		dev := dpu.New(dc)
 		runner := vart.New(dev, prog, 4)
-		r := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		r, err := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		if err != nil {
+			return nil, err
+		}
 		p := DPUFamilyPoint{
 			Device:  dc.Name,
 			PeakOps: dc.PeakOpsPerCycle(),

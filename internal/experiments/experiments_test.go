@@ -19,6 +19,9 @@ var (
 
 func testEnv(t *testing.T) *Env {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("harness environment trains models, too slow under the race detector")
+	}
 	envOnce.Do(func() {
 		tinyEnv = NewEnv(TinyScale(), io.Discard)
 	})

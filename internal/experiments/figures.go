@@ -36,10 +36,12 @@ func (e *Env) Figure3(w io.Writer) ([]Figure3Series, error) {
 			return nil, err
 		}
 		runner := vart.New(e.DPU, prog, 1)
-		for i, t := range threads {
-			runner.Threads = t
-			r := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
-			series[i].EE[cfg.Name] = r.EnergyEfficiency()
+		swept, err := runner.SweepThreads(threads, e.Scale.EvalFrames, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := range threads {
+			series[i].EE[cfg.Name] = swept[i].EnergyEfficiency()
 		}
 		g := e.TimingGraph(cfg)
 		gr := e.GPU.SimulateRun(g, e.Scale.EvalFrames, 0)
@@ -80,7 +82,11 @@ func (e *Env) Figure4(w io.Writer) ([]Figure4Point, error) {
 			return nil, err
 		}
 		runner := vart.New(e.DPU, prog, 4)
-		ee := runner.SimulateThroughput(e.Scale.EvalFrames, 0).EnergyEfficiency()
+		fr, err := runner.SimulateThroughput(e.Scale.EvalFrames, 0)
+		if err != nil {
+			return nil, err
+		}
+		ee := fr.EnergyEfficiency()
 
 		art, err := e.Trained(accuracyConfig(cfg, e.Scale))
 		if err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// harness tests that train models skip under -race: they are CPU-bound
+// math, roughly 10× slower with the detector on, and blow the test
+// timeout without exercising any interesting concurrency.
+const raceEnabled = true

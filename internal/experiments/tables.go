@@ -143,7 +143,10 @@ func (e *Env) Table4(w io.Writer, withAccuracy bool) ([]Table4Row, error) {
 			gFPS = append(gFPS, gr.FPS())
 			gW = append(gW, gr.Watts())
 			gEE = append(gEE, gr.EnergyEfficiency())
-			fr := runner.SimulateThroughput(e.Scale.EvalFrames, seed)
+			fr, err := runner.SimulateThroughput(e.Scale.EvalFrames, seed)
+			if err != nil {
+				return nil, err
+			}
 			fFPS = append(fFPS, fr.FPS())
 			fW = append(fW, fr.Watts())
 			fEE = append(fEE, fr.EnergyEfficiency())
@@ -286,7 +289,10 @@ func (e *Env) Table5(w io.Writer, bestName string) (*Table5Result, error) {
 	runner := vart.New(e.DPU, prog, 4)
 	for run := 0; run < e.Scale.Runs; run++ {
 		seed := e.Scale.Seed + int64(run) + 1
-		fr := runner.SimulateThroughput(e.Scale.EvalFrames, seed)
+		fr, err := runner.SimulateThroughput(e.Scale.EvalFrames, seed)
+		if err != nil {
+			return nil, err
+		}
 		fFPS = append(fFPS, fr.FPS())
 		fEE = append(fEE, fr.EnergyEfficiency())
 		gr := e.GPU.SimulateRun(timingGraph, e.Scale.EvalFrames, seed)

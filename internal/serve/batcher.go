@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/tensor"
+	"seneca/internal/vart"
+)
+
+// worker wraps one pooled runner with its load counters.
+type worker struct {
+	id       int
+	runner   *vart.Runner
+	inflight atomic.Int32
+	batches  atomic.Int64
+}
+
+// batchLoop is the heart of the serving tier: it pulls admitted jobs off
+// the queue, coalesces them into micro-batches, and dispatches each batch
+// to the least-loaded runner. Dispatch capacity is bounded by the slot
+// semaphore (Runners × Pipeline tokens): when every runner is saturated
+// the loop blocks here, the queue fills behind it, and Submit starts
+// rejecting — that is the explicit backpressure path.
+func (s *Server) batchLoop() {
+	defer s.batcher.Done()
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return // queue closed and fully drained: Shutdown may finish
+		}
+		s.stats.depth.Add(-1)
+		batch := []*job{j}
+		if s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.MaxDelay)
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case j2, ok := <-s.queue:
+					if !ok {
+						break collect
+					}
+					s.stats.depth.Add(-1)
+					batch = append(batch, j2)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+
+		<-s.slots // backpressure point: wait for runner capacity
+		w := s.leastLoaded()
+		w.inflight.Add(1)
+		s.inflight.Add(1)
+		go func(batch []*job, w *worker) {
+			defer func() {
+				w.inflight.Add(-1)
+				s.slots <- struct{}{}
+				s.inflight.Done()
+			}()
+			s.execute(w, batch)
+		}(batch, w)
+	}
+}
+
+// leastLoaded picks the runner with the fewest in-flight batches. With
+// Pipeline 1 this is always an idle runner; with deeper pipelines it
+// spreads overlap evenly.
+func (s *Server) leastLoaded() *worker {
+	best := s.pool[0]
+	for _, w := range s.pool[1:] {
+		if w.inflight.Load() < best.inflight.Load() {
+			best = w
+		}
+	}
+	return best
+}
+
+// execute runs one micro-batch on one runner: expired jobs are failed
+// without touching the accelerator, the rest execute functionally
+// (bit-accurate INT8) while the discrete-event model prices the batch.
+func (s *Server) execute(w *worker, batch []*job) {
+	live := make([]*job, 0, len(batch))
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			s.stats.expired.Add(1)
+			j.done <- outcome{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	imgs := make([]*tensor.Tensor, len(live))
+	for i, j := range live {
+		imgs[i] = j.img
+	}
+	seed := s.cfg.Seed
+	if seed != 0 {
+		seed += s.seq.Add(1)
+	}
+	masks, res, err := w.runner.Run(imgs, seed)
+	w.batches.Add(1)
+	if err != nil {
+		s.stats.failed.Add(uint64(len(live)))
+		for _, j := range live {
+			j.done <- outcome{err: err}
+		}
+		return
+	}
+	s.stats.recordBatch(len(live), res)
+	now := time.Now()
+	for i, j := range live {
+		s.stats.lat.record(now.Sub(j.accepted))
+		j.done <- outcome{mask: masks[i], batch: len(live)}
+	}
+	s.stats.completed.Add(uint64(len(live)))
+}

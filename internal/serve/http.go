@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"seneca/internal/nifti"
+	"seneca/internal/tensor"
+)
+
+// maxBodyBytes caps request bodies (a 512×512 float32 slice is 1 MiB; a
+// whole NIfTI volume can be much larger).
+const maxBodyBytes = 256 << 20
+
+// Handler returns the HTTP surface of the server:
+//
+//	POST /v1/segment   one CT slice in, one INT8-argmax mask out
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /statz        Stats snapshot as JSON
+//
+// /v1/segment accepts three request encodings, selected by Content-Type:
+//
+//	application/octet-stream   raw little-endian float32, C·H·W values
+//	                           (the model's preprocessed input layout)
+//	application/json           {"data":[...]} with C·H·W numbers
+//	application/x-nifti        a NIfTI-1 volume; query parameter z picks
+//	                           the axial slice (default: the middle one)
+//
+// The response body is the raw uint8 mask (H·W bytes, class per pixel)
+// with X-Seneca-Mask-Shape and X-Seneca-Batch headers.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/segment", s.handleSegment)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	img, status, err := s.decodeInput(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	mask, occupancy, err := s.submit(r.Context(), img)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		secs := int(s.RetryAfter().Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosing):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g := s.prog.Graph
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Seneca-Mask-Shape", fmt.Sprintf("%dx%d", g.InH, g.InW))
+	h.Set("X-Seneca-Batch", strconv.Itoa(occupancy))
+	w.Write(mask)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"status\":\"draining\",\"model\":%q}\n", s.prog.Name)
+		return
+	}
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"model\":%q}\n", s.prog.Name)
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// decodeInput parses one request body into the model's CHW input tensor.
+// The int return is the HTTP status for the error case.
+func (s *Server) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
+	g := s.prog.Graph
+	n := g.InC * g.InH * g.InW
+	ct := r.Header.Get("Content-Type")
+	if ct != "" {
+		if parsed, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = parsed
+		}
+	}
+	body := io.LimitReader(r.Body, maxBodyBytes)
+	switch ct {
+	case "", "application/octet-stream":
+		buf, err := io.ReadAll(body)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if len(buf) != 4*n {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("serve: body is %d bytes, want %d (float32 %d×%d×%d)", len(buf), 4*n, g.InC, g.InH, g.InW)
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return tensor.FromSlice(data, g.InC, g.InH, g.InW), 0, nil
+
+	case "application/json":
+		var req struct {
+			Data []float32 `json:"data"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("serve: bad JSON body: %w", err)
+		}
+		if len(req.Data) != n {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("serve: data has %d values, want %d (%d×%d×%d)", len(req.Data), n, g.InC, g.InH, g.InW)
+		}
+		return tensor.FromSlice(req.Data, g.InC, g.InH, g.InW), 0, nil
+
+	case "application/x-nifti", "application/nifti":
+		if g.InC != 1 {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("serve: NIfTI input needs a single-channel model, this one has %d", g.InC)
+		}
+		vol, err := nifti.Read(body)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("serve: bad NIfTI body: %w", err)
+		}
+		if vol.Nx != g.InW || vol.Ny != g.InH {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("serve: NIfTI slice is %d×%d, model wants %d×%d", vol.Ny, vol.Nx, g.InH, g.InW)
+		}
+		z := vol.Nz / 2
+		if q := r.URL.Query().Get("z"); q != "" {
+			z, err = strconv.Atoi(q)
+			if err != nil || z < 0 || z >= vol.Nz {
+				return nil, http.StatusBadRequest,
+					fmt.Errorf("serve: slice z=%q out of range [0,%d)", q, vol.Nz)
+			}
+		}
+		return tensor.FromSlice(vol.Slice(z), 1, g.InH, g.InW), 0, nil
+	}
+	return nil, http.StatusUnsupportedMediaType,
+		fmt.Errorf("serve: unsupported Content-Type %q", ct)
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seneca/internal/nifti"
+)
+
+func startHTTP(t *testing.T, cfg Config) (*httptest.Server, *Server, []float32, []uint8) {
+	t.Helper()
+	s, dev, prog, imgs := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	want, err := dev.Execute(prog, imgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, s, imgs[0].Data, want
+}
+
+func TestHTTPOctetStreamRoundTrip(t *testing.T) {
+	ts, _, data, want := startHTTP(t, Config{Threads: 2})
+	resp, err := http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(EncodeInput(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Seneca-Mask-Shape"); got != "32x32" {
+		t.Fatalf("mask shape header %q", got)
+	}
+	mask, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mask, want) {
+		t.Fatal("HTTP mask differs from direct execution")
+	}
+}
+
+func TestHTTPJSONRoundTrip(t *testing.T) {
+	ts, _, data, want := startHTTP(t, Config{Threads: 2})
+	body, err := json.Marshal(map[string]any{"data": data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/segment", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	mask, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(mask, want) {
+		t.Fatal("JSON-encoded request produced a different mask")
+	}
+}
+
+func TestHTTPNIfTISlice(t *testing.T) {
+	ts, _, data, want := startHTTP(t, Config{Threads: 2})
+	// Pack the test slice as plane z=1 of a 3-slice float32 volume.
+	vol := nifti.NewVolume(32, 32, 3, nifti.DTFloat32)
+	copy(vol.Data[32*32:], data)
+	var buf bytes.Buffer
+	if err := nifti.Write(&buf, vol); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/segment?z=1", "application/x-nifti", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	mask, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(mask, want) {
+		t.Fatal("NIfTI-encoded request produced a different mask")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	ts, _, data, _ := startHTTP(t, Config{Threads: 2})
+	cases := []struct {
+		name, ct string
+		body     []byte
+		query    string
+		want     int
+	}{
+		{"short binary body", "application/octet-stream", []byte{1, 2, 3}, "", http.StatusBadRequest},
+		{"bad json", "application/json", []byte("{"), "", http.StatusBadRequest},
+		{"wrong json length", "application/json", []byte(`{"data":[1,2]}`), "", http.StatusBadRequest},
+		{"unsupported media", "text/plain", []byte("hi"), "", http.StatusUnsupportedMediaType},
+		{"bad nifti", "application/x-nifti", []byte("not a volume"), "", http.StatusBadRequest},
+		{"nifti slice out of range", "application/x-nifti", niftiBody(t, data), "?z=99", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/segment"+tc.query, tc.ct, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/segment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/segment: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+func niftiBody(t *testing.T, data []float32) []byte {
+	t.Helper()
+	vol := nifti.NewVolume(32, 32, 1, nifti.DTFloat32)
+	copy(vol.Data, data)
+	var buf bytes.Buffer
+	if err := nifti.Write(&buf, vol); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHTTPHealthzAndStatz(t *testing.T) {
+	ts, s, data, _ := startHTTP(t, Config{Threads: 2, MaxBatch: 4})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: HTTP %d %s", resp.StatusCode, body)
+	}
+
+	// Serve one request so the stats are non-trivial.
+	r2, err := http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(EncodeInput(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+
+	var st Stats
+	r3, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if err := json.NewDecoder(r3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Model != "tiny" || st.InputShape != [3]int{1, 32, 32} {
+		t.Fatalf("statz identity: %+v", st)
+	}
+	if st.Completed < 1 || st.Batches < 1 || st.P50LatencyMS <= 0 {
+		t.Fatalf("statz counters: %+v", st)
+	}
+	if st.SimFPS <= 0 || st.SimFPSPerWatt <= 0 {
+		t.Fatalf("statz simulated deployment estimate missing: %+v", st)
+	}
+
+	// Draining flips healthz to 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: HTTP %d, want 503", r4.StatusCode)
+	}
+}
+
+func TestFetchInputShape(t *testing.T) {
+	ts, _, _, _ := startHTTP(t, Config{Threads: 2})
+	shape, err := FetchInputShape(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != [3]int{1, 32, 32} {
+		t.Fatalf("shape = %v", shape)
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	var sb strings.Builder
+	FormatSweep(&sb, []LoadPoint{{
+		Concurrency: 4, Requests: 100, Rejected: 3, Throughput: 123.4,
+		P50: 2 * time.Millisecond, P99: 9 * time.Millisecond, MeanBatch: 2.5,
+	}})
+	out := sb.String()
+	for _, frag := range []string{"conc", "429s", "123.4", "2.50"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("sweep table missing %q:\n%s", frag, out)
+		}
+	}
+	if fmt.Sprint(out) == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadPoint is one row of a closed-loop load sweep: the serving-side
+// analog of one vart.Runner.SweepThreads entry.
+type LoadPoint struct {
+	Concurrency int
+	Requests    int // completed 200s
+	Rejected    int // 429s observed (requests are retried until served)
+	Errors      int // non-retryable failures
+	Duration    time.Duration
+	Throughput  float64 // completed responses per wall second
+	P50, P99    time.Duration
+	MeanBatch   float64 // mean X-Seneca-Batch occupancy of completed responses
+}
+
+// SweepLoad drives a running server closed-loop: for each concurrency
+// level it keeps that many clients busy until perLevel responses have
+// completed, retrying 429s (so rejected load stays offered, as a real
+// client fleet would). body/contentType must encode one valid request for
+// the server's model; every client reuses it.
+func SweepLoad(baseURL string, body []byte, contentType string, concurrencies []int, perLevel int) ([]LoadPoint, error) {
+	if perLevel < 1 {
+		perLevel = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	var out []LoadPoint
+	for _, c := range concurrencies {
+		if c < 1 {
+			c = 1
+		}
+		p, err := runLevel(client, baseURL, body, contentType, c, perLevel)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runLevel(client *http.Client, baseURL string, body []byte, contentType string, conc, perLevel int) (LoadPoint, error) {
+	var (
+		started   atomic.Int64
+		rejected  atomic.Int64
+		errored   atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		batchSum  int64
+		firstErr  error
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for started.Add(1) <= int64(perLevel) {
+				t0 := time.Now()
+				for {
+					resp, err := client.Post(baseURL+"/v1/segment", contentType, bytes.NewReader(body))
+					if err != nil {
+						errored.Add(1)
+						record(err)
+						return
+					}
+					occ, status := drainResponse(resp)
+					if status == http.StatusTooManyRequests {
+						rejected.Add(1)
+						time.Sleep(500 * time.Microsecond)
+						continue // closed loop: keep offering the load
+					}
+					if status != http.StatusOK {
+						errored.Add(1)
+						record(fmt.Errorf("serve: loadgen got HTTP %d", status))
+						return
+					}
+					mu.Lock()
+					latencies = append(latencies, time.Since(t0))
+					batchSum += int64(occ)
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+
+	p := LoadPoint{
+		Concurrency: conc,
+		Requests:    len(latencies),
+		Rejected:    int(rejected.Load()),
+		Errors:      int(errored.Load()),
+		Duration:    wall,
+	}
+	if wall > 0 {
+		p.Throughput = float64(p.Requests) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p.P50 = latencies[len(latencies)/2]
+		p.P99 = latencies[int(0.99*float64(len(latencies)-1))]
+		p.MeanBatch = float64(batchSum) / float64(len(latencies))
+	}
+	return p, firstErr
+}
+
+func drainResponse(resp *http.Response) (occupancy, status int) {
+	occupancy = 1
+	if v := resp.Header.Get("X-Seneca-Batch"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			occupancy = n
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return occupancy, resp.StatusCode
+}
+
+// FetchInputShape asks a running server (via GET /statz) for its model's
+// C, H, W input geometry, so a load generator can fabricate inputs.
+func FetchInputShape(baseURL string) ([3]int, error) {
+	resp, err := http.Get(baseURL + "/statz")
+	if err != nil {
+		return [3]int{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return [3]int{}, fmt.Errorf("serve: /statz returned HTTP %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return [3]int{}, err
+	}
+	return st.InputShape, nil
+}
+
+// EncodeInput serializes float32 values as a raw application/octet-stream
+// request body (little-endian, the /v1/segment wire layout).
+func EncodeInput(data []float32) []byte {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// FormatSweep renders a load sweep as the fixed-width table the serving
+// examples and seneca-loadgen print.
+func FormatSweep(w io.Writer, points []LoadPoint) {
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %10s %10s\n",
+		"conc", "reqs", "429s", "req/s", "p50", "p99", "batch")
+	for _, p := range points {
+		fmt.Fprintf(w, "%6d %10d %10d %10.1f %10s %10s %10.2f\n",
+			p.Concurrency, p.Requests, p.Rejected, p.Throughput,
+			p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond), p.MeanBatch)
+	}
+}

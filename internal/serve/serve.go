@@ -1,0 +1,261 @@
+// Package serve is the online deployment tier of the SENECA stack: it
+// turns a pool of vart.Runners into an inference service that sustains
+// heavy concurrent traffic the way the paper's evaluation sustains batch
+// throughput (Section IV-B).
+//
+// Architecture, front to back:
+//
+//	HTTP front end      POST /v1/segment, GET /healthz, GET /statz
+//	admission queue     bounded; overflow is rejected immediately with
+//	                    explicit backpressure (HTTP 429 + Retry-After)
+//	micro-batcher       coalesces queued requests up to MaxBatch or
+//	                    MaxDelay, whichever comes first
+//	runner pool         batches dispatch to the least-loaded vart.Runner;
+//	                    each runner executes functionally (bit-accurate
+//	                    INT8 masks) and accumulates simulated FPS/W
+//
+// Every request carries a context.Context: deadlines expire work that is
+// still queued, and Shutdown drains everything already admitted without
+// dropping it. serve.Stats exposes the queue, latency quantiles, batch
+// occupancy and the discrete-event deployment estimate.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/tensor"
+	"seneca/internal/vart"
+	"seneca/internal/xmodel"
+)
+
+// Config tunes the serving tier. The zero value is usable: every field
+// defaults to the values noted below.
+type Config struct {
+	// Runners is the number of vart.Runner instances in the dispatch pool
+	// (each models one deployed runtime process on the board). Default 1.
+	Runners int
+	// Threads is the host submission thread count per runner (the paper
+	// deploys 4). Default 4.
+	Threads int
+	// Pipeline is how many batches one runner may have in flight at once;
+	// 2 overlaps host pre/post-processing with accelerator execution.
+	// Default 1.
+	Pipeline int
+	// MaxBatch caps the micro-batch size. Default 8.
+	MaxBatch int
+	// MaxDelay is the longest the batcher waits for a batch to fill once
+	// it holds at least one request. Default 2ms.
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are
+	// rejected with ErrQueueFull (HTTP 429). Default 64.
+	QueueDepth int
+	// Timeout is the per-request deadline applied on admission, on top of
+	// whatever deadline the client context carries. 0 means none.
+	Timeout time.Duration
+	// Seed controls simulated measurement jitter (0 = deterministic).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runners <= 0 {
+		c.Runners = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Admission errors.
+var (
+	// ErrQueueFull reports that the admission queue is at capacity; the
+	// HTTP layer maps it to 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosing reports that the server is draining and admits no new
+	// work; the HTTP layer maps it to 503.
+	ErrClosing = errors.New("serve: server is draining")
+)
+
+// Server is the micro-batching inference service over one compiled
+// program. Construct with New, release with Shutdown.
+type Server struct {
+	cfg  Config
+	dev  *dpu.Device
+	prog *xmodel.Program
+
+	queue chan *job
+	slots chan struct{} // dispatch tokens: Runners × Pipeline
+	pool  []*worker
+
+	mu      sync.RWMutex // serializes closing against queue sends
+	closing bool
+
+	batcher  sync.WaitGroup // the batchLoop goroutine
+	inflight sync.WaitGroup // dispatched batches
+
+	stats stats
+	seq   atomic.Int64 // batch sequence number, perturbs the sim seed
+
+	frameLatency time.Duration // single-frame single-core latency
+}
+
+// job is one admitted request travelling through the queue.
+type job struct {
+	ctx      context.Context
+	img      *tensor.Tensor
+	accepted time.Time
+	done     chan outcome
+}
+
+// outcome is the terminal state of a job.
+type outcome struct {
+	mask  []uint8
+	batch int // occupancy of the batch the job rode in
+	err   error
+}
+
+// New builds a server over a device and a compiled program and starts its
+// batching loop. Callers must Shutdown to stop it.
+func New(dev *dpu.Device, prog *xmodel.Program, cfg Config) (*Server, error) {
+	if dev == nil {
+		return nil, errors.New("serve: nil device")
+	}
+	if prog == nil {
+		return nil, errors.New("serve: nil program")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:          cfg,
+		dev:          dev,
+		prog:         prog,
+		queue:        make(chan *job, cfg.QueueDepth),
+		slots:        make(chan struct{}, cfg.Runners*cfg.Pipeline),
+		frameLatency: dev.TimeFrame(prog).Latency,
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.pool = append(s.pool, &worker{id: i, runner: vart.New(dev, prog, cfg.Threads)})
+	}
+	for i := 0; i < cap(s.slots); i++ {
+		s.slots <- struct{}{}
+	}
+	s.stats.lat.init(latencyWindow)
+	s.batcher.Add(1)
+	go s.batchLoop()
+	return s, nil
+}
+
+// Submit admits one CHW image and blocks until its mask is ready, the
+// context expires, or admission is refused (ErrQueueFull, ErrClosing).
+// It is the in-process equivalent of POST /v1/segment and is safe for
+// arbitrary concurrent use.
+func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) ([]uint8, error) {
+	mask, _, err := s.submit(ctx, img)
+	return mask, err
+}
+
+func (s *Server) submit(ctx context.Context, img *tensor.Tensor) ([]uint8, int, error) {
+	g := s.prog.Graph
+	if img == nil || img.Rank() != 3 || img.Dim(0) != g.InC || img.Dim(1) != g.InH || img.Dim(2) != g.InW {
+		shape := "<nil>"
+		if img != nil {
+			shape = fmt.Sprint(img.Shape)
+		}
+		return nil, 0, fmt.Errorf("serve: input shape %s, want [%d %d %d]", shape, g.InC, g.InH, g.InW)
+	}
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	j := &job{ctx: ctx, img: img, accepted: time.Now(), done: make(chan outcome, 1)}
+
+	s.mu.RLock()
+	if s.closing {
+		s.mu.RUnlock()
+		return nil, 0, ErrClosing
+	}
+	select {
+	case s.queue <- j:
+		s.stats.accepted.Add(1)
+		s.stats.depth.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.stats.rejected.Add(1)
+		return nil, 0, ErrQueueFull
+	}
+
+	select {
+	case out := <-j.done:
+		return out.mask, out.batch, out.err
+	case <-ctx.Done():
+		// The executor also watches j.ctx and will discard the job; its
+		// buffered done channel means nobody blocks on us.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// RetryAfter estimates how long a rejected client should back off: the
+// simulated time to drain a full queue across the deployed cores.
+func (s *Server) RetryAfter() time.Duration {
+	perCore := s.cfg.Runners * s.dev.Cfg.Cores
+	if perCore < 1 {
+		perCore = 1
+	}
+	d := time.Duration(int64(s.frameLatency) * int64(s.cfg.QueueDepth) / int64(perCore))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Shutdown stops admitting new requests, drains every request already in
+// the queue, waits for in-flight batches, and returns. It never drops
+// admitted work; ctx bounds only how long the caller is willing to wait.
+// Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closing {
+		s.closing = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.batcher.Wait()
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closing
+}

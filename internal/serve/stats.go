@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/vart"
+)
+
+// latencyWindow is how many recent request latencies the quantile
+// estimator keeps.
+const latencyWindow = 4096
+
+// stats is the server's internal counter block. All hot-path fields are
+// atomics; the simulated-deployment accumulator takes a mutex because it
+// updates three fields together.
+type stats struct {
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+	expired   atomic.Uint64
+	failed    atomic.Uint64
+	batches   atomic.Uint64
+	frames    atomic.Uint64 // completed frames, i.e. summed batch occupancy
+	depth     atomic.Int64  // current queue depth
+
+	lat latWindow
+
+	mu        sync.Mutex
+	simBusy   time.Duration // accumulated simulated runner-busy time
+	simJoules float64
+	simFrames int
+}
+
+func (st *stats) recordBatch(n int, res vart.Result) {
+	st.batches.Add(1)
+	st.frames.Add(uint64(n))
+	st.mu.Lock()
+	st.simBusy += res.Duration
+	st.simJoules += res.Joules
+	st.simFrames += res.Frames
+	st.mu.Unlock()
+}
+
+// latWindow is a fixed-size ring of recent latencies; quantiles are
+// computed on demand from a snapshot copy.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func (l *latWindow) init(size int) { l.buf = make([]time.Duration, size) }
+
+func (l *latWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded window, or 0
+// when nothing has been recorded yet.
+func (l *latWindow) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	snap := make([]time.Duration, l.n)
+	copy(snap, l.buf[:l.n])
+	l.mu.Unlock()
+	if len(snap) == 0 {
+		return 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	idx := int(q * float64(len(snap)-1))
+	return snap[idx]
+}
+
+// Stats is a point-in-time snapshot of the serving tier, as exported by
+// GET /statz. Sim* fields come from the discrete-event timing model: they
+// estimate what the deployed board would sustain for the traffic served so
+// far (the serving-side analog of the paper's 335.4 FPS / 11.81 FPS/W).
+type Stats struct {
+	Model      string  `json:"model"`
+	InputShape [3]int  `json:"input_shape"` // C, H, W
+	Runners    int     `json:"runners"`
+	Threads    int     `json:"threads"`
+	MaxBatch   int     `json:"max_batch"`
+	MaxDelayMS float64 `json:"max_delay_ms"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	InFlight   int `json:"in_flight_batches"`
+
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Expired   uint64 `json:"expired"`
+	Failed    uint64 `json:"failed"`
+
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch_occupancy"`
+
+	P50LatencyMS float64 `json:"p50_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
+
+	SimFPS        float64 `json:"sim_fps"`
+	SimWatts      float64 `json:"sim_watts"`
+	SimFPSPerWatt float64 `json:"sim_fps_per_watt"`
+}
+
+// Stats snapshots the server counters. Concurrent mutation means the
+// snapshot is consistent per field, not across fields.
+func (s *Server) Stats() Stats {
+	g := s.prog.Graph
+	st := Stats{
+		Model:      s.prog.Name,
+		InputShape: [3]int{g.InC, g.InH, g.InW},
+		Runners:    s.cfg.Runners,
+		Threads:    s.cfg.Threads,
+		MaxBatch:   s.cfg.MaxBatch,
+		MaxDelayMS: float64(s.cfg.MaxDelay) / float64(time.Millisecond),
+		QueueDepth: int(s.stats.depth.Load()),
+		QueueCap:   s.cfg.QueueDepth,
+		Accepted:   s.stats.accepted.Load(),
+		Rejected:   s.stats.rejected.Load(),
+		Completed:  s.stats.completed.Load(),
+		Expired:    s.stats.expired.Load(),
+		Failed:     s.stats.failed.Load(),
+		Batches:    s.stats.batches.Load(),
+	}
+	for _, w := range s.pool {
+		st.InFlight += int(w.inflight.Load())
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.stats.frames.Load()) / float64(st.Batches)
+	}
+	st.P50LatencyMS = float64(s.stats.lat.quantile(0.50)) / float64(time.Millisecond)
+	st.P99LatencyMS = float64(s.stats.lat.quantile(0.99)) / float64(time.Millisecond)
+
+	s.stats.mu.Lock()
+	busy, joules, frames := s.stats.simBusy, s.stats.simJoules, s.stats.simFrames
+	s.stats.mu.Unlock()
+	if busy > 0 {
+		sec := busy.Seconds()
+		st.SimFPS = float64(frames) / sec
+		st.SimWatts = joules / sec
+		if st.SimWatts > 0 {
+			st.SimFPSPerWatt = st.SimFPS / st.SimWatts
+		}
+	}
+	return st
+}

@@ -30,10 +30,10 @@ type Trace struct {
 
 // Trace records the schedule of a simulated run. Host-thread segments
 // appear under pid 1 ("host"), DPU core segments under pid 2 ("dpu").
-func (r *Runner) Trace(frames int, seed int64) *Trace {
+func (r *Runner) Trace(frames int, seed int64) (*Trace, error) {
 	t := &Trace{}
 	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
-	res := r.simulate(frames, seed, func(j jobTiming) {
+	res, err := r.simulate(frames, seed, func(j jobTiming) {
 		t.Events = append(t.Events,
 			TraceEvent{
 				Name: fmt.Sprintf("prepare f%d", j.Frame), Cat: "host", Ph: "X",
@@ -49,8 +49,11 @@ func (r *Runner) Trace(frames int, seed int64) *Trace {
 			},
 		)
 	})
+	if err != nil {
+		return nil, err
+	}
 	t.Result = res
-	return t
+	return t, nil
 }
 
 // WriteJSON emits the trace in Chrome tracing array format.

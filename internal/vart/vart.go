@@ -12,6 +12,7 @@
 package vart
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -77,15 +78,20 @@ type jobTiming struct {
 	PostFinish time.Duration
 }
 
+// ErrNoThreads reports a Runner configured with fewer than one host
+// submission thread. It is returned (never panicked) so a misconfigured
+// server cannot crash the process.
+var ErrNoThreads = errors.New("vart: need at least one thread")
+
 // SimulateThroughput runs the discrete-event model for the given number of
 // frames. seed controls measurement jitter (0 = deterministic).
-func (r *Runner) SimulateThroughput(frames int, seed int64) Result {
+func (r *Runner) SimulateThroughput(frames int, seed int64) (Result, error) {
 	return r.simulate(frames, seed, nil)
 }
 
-func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) Result {
+func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) (Result, error) {
 	if r.Threads < 1 {
-		panic("vart: need at least one thread")
+		return Result{}, ErrNoThreads
 	}
 	ft := r.Device.TimeFrame(r.Program)
 	rng := rand.New(rand.NewSource(seed))
@@ -160,13 +166,16 @@ func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) Result
 		FrameLatency: ft.Latency,
 		CoreBusyFrac: busyFrac,
 		Utilization:  ft.Utilization,
-	}
+	}, nil
 }
 
 // Run executes the images functionally with real asynchronous worker
 // threads (bit-accurate INT8 masks, order-preserving) and returns the masks
 // together with the simulated timing for the same workload.
 func (r *Runner) Run(images []*tensor.Tensor, seed int64) ([][]uint8, Result, error) {
+	if r.Threads < 1 {
+		return nil, Result{}, ErrNoThreads
+	}
 	masks := make([][]uint8, len(images))
 	errs := make([]error, len(images))
 	jobs := make(chan int)
@@ -190,19 +199,28 @@ func (r *Runner) Run(images []*tensor.Tensor, seed int64) ([][]uint8, Result, er
 			return nil, Result{}, fmt.Errorf("vart: frame %d: %w", i, err)
 		}
 	}
-	return masks, r.SimulateThroughput(len(images), seed), nil
+	res, err := r.SimulateThroughput(len(images), seed)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return masks, res, nil
 }
 
 // SweepThreads evaluates throughput and efficiency for each thread count —
 // the experiment behind Figure 3's FPGA series and the ≥8-threads
-// observation of Section IV-B.
-func (r *Runner) SweepThreads(threadCounts []int, frames int, seed int64) []Result {
+// observation of Section IV-B. The receiver is never mutated: the sweep
+// runs on a private copy, so a Runner shared by concurrent server workers
+// can keep executing while a sweep is in progress.
+func (r *Runner) SweepThreads(threadCounts []int, frames int, seed int64) ([]Result, error) {
 	out := make([]Result, len(threadCounts))
-	orig := r.Threads
-	defer func() { r.Threads = orig }()
+	rc := *r // Device and Program are read-only and safely shared
 	for i, t := range threadCounts {
-		r.Threads = t
-		out[i] = r.SimulateThroughput(frames, seed)
+		rc.Threads = t
+		res, err := rc.SimulateThroughput(frames, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
 	}
-	return out
+	return out, nil
 }

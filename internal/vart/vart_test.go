@@ -2,8 +2,10 @@ package vart
 
 import (
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"seneca/internal/dpu"
@@ -46,7 +48,10 @@ func TestThroughputScalesThenSaturates(t *testing.T) {
 	// model is far faster than the host, so scale the overhead to keep the
 	// ratio.
 	r.HostOverhead = r.Device.TimeFrame(r.Program).Latency
-	res := r.SweepThreads([]int{1, 2, 4, 8}, 500, 0)
+	res, err := r.SweepThreads([]int{1, 2, 4, 8}, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fps := make([]float64, len(res))
 	for i, rr := range res {
 		fps[i] = rr.FPS()
@@ -71,7 +76,10 @@ func TestThroughputScalesThenSaturates(t *testing.T) {
 
 func TestDualCoreCap(t *testing.T) {
 	r, _ := testRunner(t, 16)
-	res := r.SimulateThroughput(500, 0)
+	res, err := r.SimulateThroughput(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cap := 2 / res.FrameLatency.Seconds()
 	if res.FPS() > cap*1.001 {
 		t.Fatalf("throughput %v exceeds dual-core bound %v", res.FPS(), cap)
@@ -80,13 +88,25 @@ func TestDualCoreCap(t *testing.T) {
 
 func TestSimulationDeterministicWithZeroSeed(t *testing.T) {
 	r, _ := testRunner(t, 4)
-	a := r.SimulateThroughput(100, 0)
-	b := r.SimulateThroughput(100, 0)
+	a, err := r.SimulateThroughput(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.SimulateThroughput(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.FPS() != b.FPS() || a.Joules != b.Joules {
 		t.Fatal("seed-0 simulation not deterministic")
 	}
-	c := r.SimulateThroughput(100, 1)
-	d := r.SimulateThroughput(100, 2)
+	c, err := r.SimulateThroughput(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.SimulateThroughput(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.FPS() == d.FPS() {
 		t.Fatal("different seeds should jitter the run")
 	}
@@ -122,7 +142,10 @@ func TestHostBoundSingleThread(t *testing.T) {
 	// With one thread, throughput ≈ 1/(latency+host): the DPU idles while
 	// the host prepares the next job.
 	r, _ := testRunner(t, 1)
-	res := r.SimulateThroughput(300, 0)
+	res, err := r.SimulateThroughput(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 1 / (res.FrameLatency + r.HostOverhead).Seconds()
 	got := res.FPS()
 	if rel := (got - want) / want; rel < -0.05 || rel > 0.05 {
@@ -135,12 +158,18 @@ func TestHostBoundSingleThread(t *testing.T) {
 
 func TestTraceSchedule(t *testing.T) {
 	r, _ := testRunner(t, 2)
-	tr := r.Trace(10, 0)
+	tr, err := r.Trace(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tr.Events) != 30 { // prepare + infer + collect per frame
 		t.Fatalf("%d events for 10 frames", len(tr.Events))
 	}
 	// Trace result must equal the plain simulation (same event loop).
-	plain := r.SimulateThroughput(10, 0)
+	plain, err := r.SimulateThroughput(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.Result.FPS() != plain.FPS() {
 		t.Fatalf("trace result diverges: %v vs %v", tr.Result.FPS(), plain.FPS())
 	}
@@ -177,12 +206,56 @@ func TestTraceSchedule(t *testing.T) {
 	}
 }
 
-func TestZeroThreadsPanics(t *testing.T) {
-	r, _ := testRunner(t, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero threads accepted")
-		}
-	}()
-	r.SimulateThroughput(10, 0)
+func TestZeroThreadsReturnsError(t *testing.T) {
+	r, imgs := testRunner(t, 0)
+	if _, err := r.SimulateThroughput(10, 0); !errors.Is(err, ErrNoThreads) {
+		t.Fatalf("SimulateThroughput error = %v, want ErrNoThreads", err)
+	}
+	if _, _, err := r.Run(imgs[:1], 0); !errors.Is(err, ErrNoThreads) {
+		t.Fatalf("Run error = %v, want ErrNoThreads", err)
+	}
+	if _, err := r.SweepThreads([]int{0}, 10, 0); !errors.Is(err, ErrNoThreads) {
+		t.Fatalf("SweepThreads error = %v, want ErrNoThreads", err)
+	}
+	if _, err := r.Trace(10, 0); !errors.Is(err, ErrNoThreads) {
+		t.Fatalf("Trace error = %v, want ErrNoThreads", err)
+	}
+}
+
+func TestSweepThreadsDoesNotMutateRunner(t *testing.T) {
+	r, _ := testRunner(t, 4)
+	if _, err := r.SweepThreads([]int{1, 2, 8}, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Threads != 4 {
+		t.Fatalf("SweepThreads mutated Threads to %d", r.Threads)
+	}
+}
+
+// TestConcurrentRunAndSweep exercises a Runner shared by server workers:
+// functional Run calls racing SweepThreads must be data-race-free (run
+// under -race) and must leave the receiver untouched.
+func TestConcurrentRunAndSweep(t *testing.T) {
+	r, imgs := testRunner(t, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, _, err := r.Run(imgs, 0); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			res, err := r.SweepThreads([]int{1, 2, 4}, 100, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			if len(res) != 3 {
+				t.Errorf("sweep returned %d results", len(res))
+			}
+		}()
+	}
+	wg.Wait()
 }

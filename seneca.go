@@ -39,6 +39,7 @@ import (
 	"seneca/internal/gpusim"
 	"seneca/internal/metrics"
 	"seneca/internal/phantom"
+	"seneca/internal/serve"
 	"seneca/internal/unet"
 	"seneca/internal/vart"
 	"seneca/internal/xmodel"
@@ -84,6 +85,17 @@ type (
 	ExperimentScale = experiments.Scale
 	// Experiments is the per-table/per-figure harness environment.
 	Experiments = experiments.Env
+	// InferenceServer is the online serving tier: bounded admission queue,
+	// dynamic micro-batching over a pool of Runners, HTTP front end.
+	InferenceServer = serve.Server
+	// ServeConfig tunes the serving tier (queue depth, batch window,
+	// runner pool, per-request deadline).
+	ServeConfig = serve.Config
+	// ServeStats is the GET /statz snapshot (queue, latency quantiles,
+	// batch occupancy, simulated deployment FPS/W).
+	ServeStats = serve.Stats
+	// LoadPoint is one row of a closed-loop serving load sweep.
+	LoadPoint = serve.LoadPoint
 )
 
 // Calibration and quantization mode constants.
@@ -149,6 +161,26 @@ func NewRTX2060Mobile() *GPU { return gpusim.New(gpusim.RTX2060Mobile()) }
 // NewRunner constructs the asynchronous inference runtime with the given
 // thread count (the paper deploys 4).
 func NewRunner(dev *DPU, prog *Program, threads int) *Runner { return vart.New(dev, prog, threads) }
+
+// NewServer stands up the online inference service over a device and a
+// compiled program and starts its micro-batching loop; release it with
+// Shutdown. Serve its Handler() with net/http (see cmd/seneca-serve).
+func NewServer(dev *DPU, prog *Program, cfg ServeConfig) (*InferenceServer, error) {
+	return serve.New(dev, prog, cfg)
+}
+
+// SweepLoad drives a running inference server closed-loop at each
+// concurrency level — the serving-side analog of Runner.SweepThreads.
+func SweepLoad(baseURL string, body []byte, contentType string, concurrencies []int, perLevel int) ([]LoadPoint, error) {
+	return serve.SweepLoad(baseURL, body, contentType, concurrencies, perLevel)
+}
+
+// EncodeServeInput serializes float32 values as the raw
+// application/octet-stream body POST /v1/segment expects.
+func EncodeServeInput(data []float32) []byte { return serve.EncodeInput(data) }
+
+// FormatLoadSweep renders a load sweep as a fixed-width table.
+func FormatLoadSweep(w io.Writer, points []LoadPoint) { serve.FormatSweep(w, points) }
 
 // EvaluateFP32 measures the FP32 model on a dataset.
 func EvaluateFP32(m *Model, ds *Dataset, batch int) *Confusion {

@@ -66,7 +66,10 @@ func TestFacadeWorkflow(t *testing.T) {
 	}
 
 	runner := seneca.NewRunner(seneca.NewZCU104(), art.Program, 4)
-	res := runner.SimulateThroughput(100, 1)
+	res, err := runner.SimulateThroughput(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FPS() <= 0 || res.Watts() <= 0 || res.EnergyEfficiency() <= 0 {
 		t.Fatalf("implausible run result %+v", res)
 	}
