@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench
+# Tier-1 kernel micro-benchmarks: cheap, deterministic workloads whose
+# regressions are tracked in BENCH_PR2.json (see `make bench`).
+TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
+
+.PHONY: ci build vet test race fmt-check bench bench-all fuzz
 
 # ci is the gate GitHub Actions runs: formatting, build, vet, race tests.
 ci: fmt-check build vet race
@@ -17,8 +21,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the tier-1 benchmarks and snapshots them to BENCH_PR2.json
+# ({name, ns_per_op, allocs_per_op}); compare against the committed file to
+# spot regressions (see README "Benchmark regression tracking").
 bench:
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem . | $(GO) run ./cmd/seneca-benchjson -out BENCH_PR2.json
+
+# bench-all additionally runs the heavy table/figure reproduction benches.
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# fuzz exercises the binary-format parsers beyond their committed corpora.
+fuzz:
+	$(GO) test ./internal/nifti/ -run '^$$' -fuzz FuzzRead$$ -fuzztime 30s
+	$(GO) test ./internal/xmodel/ -run '^$$' -fuzz FuzzReadProgram -fuzztime 30s
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

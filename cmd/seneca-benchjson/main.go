@@ -1,0 +1,118 @@
+// Command seneca-benchjson converts `go test -bench -benchmem` output on
+// stdin into a stable JSON benchmark snapshot, for committing alongside a
+// change and diffing across PRs (see the README's "Benchmark regression
+// tracking" section).
+//
+//	go test -run '^$' -bench Kernels -benchmem . | seneca-benchjson -out BENCH.json
+//
+// Input lines are echoed to stdout unchanged, so the tool can sit at the
+// end of a pipe without hiding the live benchmark progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result. The schema is fixed — name, ns/op,
+// allocs/op — so snapshots from different PRs stay directly comparable.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseBench extracts benchmark entries from `go test -bench` output,
+// echoing every line to echo (nil disables). Lines that are not benchmark
+// results are ignored. The trailing -N GOMAXPROCS suffix is stripped from
+// names so snapshots compare across machines.
+func parseBench(r io.Reader, echo io.Writer) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Name: name, AllocsPerOp: -1}
+		seen := false
+		for i := 2; i+1 < len(fields); i++ {
+			switch fields[i+1] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+				}
+				e.NsPerOp = v
+				seen = true
+			case "allocs/op":
+				v, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+				}
+				e.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func main() {
+	outPath := flag.String("out", "", "JSON output path (empty: stdout only)")
+	quiet := flag.Bool("q", false, "do not echo input lines")
+	flag.Parse()
+
+	var echo io.Writer = os.Stdout
+	if *quiet {
+		echo = nil
+	}
+	entries, err := parseBench(os.Stdin, echo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seneca-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "seneca-benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seneca-benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "seneca-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "seneca-benchjson: %d entries → %s\n", len(entries), *outPath)
+}

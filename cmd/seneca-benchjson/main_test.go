@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: seneca
+BenchmarkINT8Inference-8   	     100	  11983466 ns/op	      5241 B/op	      62 allocs/op
+BenchmarkFP32Forward-8     	      50	  25000000 ns/op	   1048576 B/op	     512 allocs/op
+BenchmarkTiny-8            	1000000000	         0.25 ns/op
+some unrelated line
+PASS
+ok  	seneca	3.456s
+`
+
+func TestParseBench(t *testing.T) {
+	var echo bytes.Buffer
+	entries, err := parseBench(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	if entries[0].Name != "FP32Forward" || entries[1].Name != "INT8Inference" || entries[2].Name != "Tiny" {
+		t.Fatalf("names = %v %v %v", entries[0].Name, entries[1].Name, entries[2].Name)
+	}
+	if entries[1].NsPerOp != 11983466 || entries[1].AllocsPerOp != 62 {
+		t.Fatalf("INT8Inference = %+v", entries[1])
+	}
+	// Sub-ns results parse as float; missing -benchmem yields allocs -1.
+	if entries[2].NsPerOp != 0.25 || entries[2].AllocsPerOp != -1 {
+		t.Fatalf("Tiny = %+v", entries[2])
+	}
+	if !strings.Contains(echo.String(), "some unrelated line") {
+		t.Fatal("input not echoed verbatim")
+	}
+}
+
+func TestParseBenchRejectsGarbageNumbers(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-4 10 zzz ns/op\n"), nil)
+	if err == nil {
+		t.Fatal("want parse error for malformed ns/op")
+	}
+}

@@ -11,20 +11,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"seneca/internal/core"
 	"seneca/internal/ctorg"
 	"seneca/internal/dpu"
+	"seneca/internal/obs"
 	"seneca/internal/phantom"
 	"seneca/internal/vart"
 	"seneca/internal/xmodel"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("seneca-run: ")
-
 	xmodelPath := flag.String("xmodel", "seneca.xmodel", "compiled xmodel")
 	dataDir := flag.String("data", "", "NIfTI cohort directory (empty: generate in memory)")
 	size := flag.Int("size", 64, "network input size (must match the xmodel)")
@@ -33,17 +31,23 @@ func main() {
 	runs := flag.Int("runs", 10, "repeated runs for µ±σ (paper: 10)")
 	patients := flag.Int("patients", 10, "patients to generate when -data is empty")
 	seed := flag.Int64("seed", 1, "seed")
+	metricsOut := flag.String("metrics-out", "", "write final Prometheus exposition to this file ('-' = stdout)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	lg := obs.SetupDefault("seneca-run", obs.ParseLevel(*logLevel))
 
 	prog, err := xmodel.ReadFile(*xmodelPath)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("loading xmodel", "path", *xmodelPath, "err", err)
+		os.Exit(1)
 	}
 	var vols []*phantom.Volume
 	if *dataDir != "" {
 		vols, err = phantom.LoadDataset(*dataDir)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("loading dataset", "dir", *dataDir, "err", err)
+			os.Exit(1)
 		}
 	} else {
 		vols = phantom.GenerateDataset(*patients, phantom.Options{Size: 2 * *size, Slices: 16, Seed: *seed, NoiseSigma: 12})
@@ -56,7 +60,8 @@ func main() {
 	// Accuracy: bit-accurate INT8 over the whole dataset.
 	conf, err := core.EvaluateINT8(prog, ds)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("evaluating", "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("accuracy over %d slices:\n", ds.Len())
 	fmt.Printf("  global DSC %.4f  TPR %.4f  TNR %.4f\n",
@@ -72,7 +77,8 @@ func main() {
 	for r := 0; r < *runs; r++ {
 		res, err := runner.SimulateThroughput(*frames, *seed+int64(r)+1)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("simulating", "err", err)
+			os.Exit(1)
 		}
 		fps += res.FPS()
 		watts += res.Watts()
@@ -81,4 +87,14 @@ func main() {
 	n := float64(*runs)
 	fmt.Printf("  %.1f FPS, %.2f W, %.2f FPS/W (frame latency %v/core)\n",
 		fps/n, watts/n, ee/n, dev.TimeFrame(prog).Latency)
+
+	if *metricsOut == "-" {
+		fmt.Print(obs.Default.Expose())
+	} else if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(obs.Default.Expose()), 0o644); err != nil {
+			lg.Error("writing metrics", "path", *metricsOut, "err", err)
+			os.Exit(1)
+		}
+		lg.Info("metrics written", "path", *metricsOut)
+	}
 }

@@ -13,21 +13,24 @@
 //
 //	seneca-serve -addr :8080 -size 64
 //
-// Endpoints: POST /v1/segment, GET /healthz, GET /statz.
+// Endpoints: POST /v1/segment, GET /healthz, GET /statz, GET /metrics
+// (Prometheus text format, merged with the pipeline stage timers), and —
+// with -pprof — the net/http/pprof suite under /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"seneca/internal/dpu"
+	"seneca/internal/obs"
 	"seneca/internal/quant"
 	"seneca/internal/serve"
 	"seneca/internal/unet"
@@ -35,9 +38,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("seneca-serve: ")
-
 	xmodelPath := flag.String("xmodel", "", "compiled xmodel (empty: built-in demo network)")
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 64, "demo network input size (only without -xmodel)")
@@ -49,21 +49,27 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	lg := obs.SetupDefault("seneca-serve", obs.ParseLevel(*logLevel))
 
 	var prog *xmodel.Program
 	var err error
 	if *xmodelPath != "" {
 		prog, err = xmodel.ReadFile(*xmodelPath)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("loading xmodel", "path", *xmodelPath, "err", err)
+			os.Exit(1)
 		}
 	} else {
 		prog, err = demoProgram(*size)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("building demo network", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("no -xmodel given: serving built-in demo network %q (untrained weights)", prog.Name)
+		lg.Info("no -xmodel given: serving built-in demo network (untrained weights)", "model", prog.Name)
 	}
 
 	dev := dpu.New(dpu.ZCU104B4096())
@@ -76,39 +82,66 @@ func main() {
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Seed:       *seed,
+		// Share the process-wide registry: one scrape shows the serving
+		// series next to the pipeline stage timers (simulate spans etc).
+		Metrics: obs.Default,
 	})
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("starting server", "err", err)
+		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		lg.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("draining...")
+		lg.Info("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain: %v", err)
+			lg.Warn("drain incomplete", "err", err)
 		}
 		httpSrv.Shutdown(ctx)
 	}()
 
 	g := prog.Graph
-	log.Printf("serving %q (%d×%d×%d) on %s — %s, %d runner(s) × %d thread(s), batch ≤%d/%v, queue %d",
-		prog.Name, g.InC, g.InH, g.InW, *addr, dev.Cfg.Name,
-		*runners, *threads, *maxBatch, *maxDelay, *queue)
+	lg.Info("serving",
+		"model", prog.Name,
+		"shape", []int{g.InC, g.InH, g.InW},
+		"addr", *addr,
+		"device", dev.Cfg.Name,
+		"runners", *runners,
+		"threads", *threads,
+		"max_batch", *maxBatch,
+		"max_delay", *maxDelay,
+		"queue", *queue)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+		lg.Error("listen", "err", err)
+		os.Exit(1)
 	}
 
 	st := srv.Stats()
-	fmt.Printf("served %d requests in %d batches (mean occupancy %.2f), rejected %d\n",
-		st.Completed, st.Batches, st.MeanBatch, st.Rejected)
+	lg.Info("served",
+		"completed", st.Completed,
+		"batches", st.Batches,
+		"mean_occupancy", st.MeanBatch,
+		"rejected", st.Rejected)
 	if st.SimFPS > 0 {
-		fmt.Printf("simulated deployment: %.1f FPS, %.2f W, %.2f FPS/W\n",
-			st.SimFPS, st.SimWatts, st.SimFPSPerWatt)
+		lg.Info("simulated deployment",
+			slog.Float64("fps", st.SimFPS),
+			slog.Float64("watts", st.SimWatts),
+			slog.Float64("fps_per_watt", st.SimFPSPerWatt))
 	}
 }
 

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"seneca/internal/obs"
+)
+
+// TestTrainEmitsMetrics trains two epochs into a private registry and
+// checks the per-epoch loss/step-time/images-per-second series the
+// observability layer promises are all present and sane.
+func TestTrainEmitsMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("training is too slow under the race detector")
+	}
+	train, _ := fastDataset(t)
+	reg := obs.NewRegistry()
+	cfg := fastTrainConfig()
+	cfg.Epochs = 2
+	cfg.Metrics = reg
+	if _, _, err := Train(fastModelConfig(), train, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	ml := obs.L("model", "fast-1M")
+	if got := reg.Counter("seneca_train_epochs_total", "", ml).Value(); got != 2 {
+		t.Fatalf("epochs counter = %d, want 2", got)
+	}
+	steps := reg.Counter("seneca_train_steps_total", "", ml).Value()
+	if steps == 0 {
+		t.Fatal("steps counter empty")
+	}
+	if imgs := reg.Counter("seneca_train_images_total", "", ml).Value(); imgs < steps {
+		t.Fatalf("images %d < steps %d", imgs, steps)
+	}
+	loss := reg.Gauge("seneca_train_epoch_loss", "", ml).Value()
+	if loss <= 0 || loss > 100 {
+		t.Fatalf("implausible epoch loss %v", loss)
+	}
+	if ips := reg.Gauge("seneca_train_images_per_second", "", ml).Value(); ips <= 0 {
+		t.Fatalf("images/sec = %v, want > 0", ips)
+	}
+	h := reg.Histogram("seneca_train_step_duration_seconds", "", obs.StageBuckets, ml)
+	if h.Count() != steps {
+		t.Fatalf("step histogram count %d != steps %d", h.Count(), steps)
+	}
+
+	out := reg.Expose()
+	for _, want := range []string{
+		`seneca_train_epoch_loss{model="fast-1M"}`,
+		`seneca_stage_runs_total{stage="train"} 1`,
+		`seneca_train_step_duration_seconds_count{model="fast-1M"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"seneca/internal/ctorg"
 	"seneca/internal/nn"
+	"seneca/internal/obs"
 	"seneca/internal/quant"
 	"seneca/internal/unet"
 )
@@ -54,6 +56,10 @@ type TrainConfig struct {
 	Seed int64
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Metrics is the registry the loop reports per-epoch loss, step time
+	// and images/sec into. nil uses obs.Default, so a pipeline run is
+	// observable from one scrape without any wiring.
+	Metrics *obs.Registry
 }
 
 // DefaultTrainConfig returns the settings used by the experiment harnesses'
@@ -108,11 +114,25 @@ func buildLoss(cfg TrainConfig, ds *ctorg.Dataset) (nn.Loss, []float32, error) {
 }
 
 // Train fits a model configuration on the training dataset and returns the
-// trained model. Training is deterministic given the config seeds.
+// trained model. Training is deterministic given the config seeds; the
+// metrics side channel never influences the arithmetic.
 func Train(modelCfg unet.Config, train *ctorg.Dataset, cfg TrainConfig) (*unet.Model, TrainReport, error) {
 	if train.Len() == 0 {
 		return nil, TrainReport{}, fmt.Errorf("core: empty training set")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	defer reg.StartSpan("train").End()
+	ml := obs.L("model", modelCfg.Name)
+	mEpochLoss := reg.Gauge("seneca_train_epoch_loss", "Mean training loss of the last completed epoch.", ml)
+	mEpochs := reg.Counter("seneca_train_epochs_total", "Completed training epochs.", ml)
+	mSteps := reg.Counter("seneca_train_steps_total", "Completed optimizer steps.", ml)
+	mImages := reg.Counter("seneca_train_images_total", "Training images consumed (counting oversampled repeats).", ml)
+	mIPS := reg.Gauge("seneca_train_images_per_second", "Training throughput of the last completed epoch.", ml)
+	mStep := reg.Histogram("seneca_train_step_duration_seconds",
+		"Duration of one forward+backward+update step.", obs.StageBuckets, ml)
 	model := unet.New(modelCfg)
 	loss, weights, err := buildLoss(cfg, train)
 	if err != nil {
@@ -136,11 +156,13 @@ func Train(modelCfg unet.Config, train *ctorg.Dataset, cfg TrainConfig) (*unet.M
 		rng.Shuffle(len(indices), func(i, j int) { indices[i], indices[j] = indices[j], indices[i] })
 		var epochLoss float64
 		batches := 0
+		epochStart := time.Now()
 		for at := 0; at < len(indices); at += cfg.BatchSize {
 			hi := at + cfg.BatchSize
 			if hi > len(indices) {
 				hi = len(indices)
 			}
+			stepStart := time.Now()
 			x, labels := train.Batch(indices[at:hi])
 			if aug != nil {
 				hw := train.Size * train.Size
@@ -166,9 +188,17 @@ func Train(modelCfg unet.Config, train *ctorg.Dataset, cfg TrainConfig) (*unet.M
 			opt.Step(model.Params())
 			epochLoss += l
 			batches++
+			mStep.Observe(time.Since(stepStart).Seconds())
+			mSteps.Inc()
+			mImages.Add(uint64(hi - at))
 		}
 		epochLoss /= float64(batches)
 		report.EpochLoss = append(report.EpochLoss, epochLoss)
+		mEpochLoss.Set(epochLoss)
+		mEpochs.Inc()
+		if sec := time.Since(epochStart).Seconds(); sec > 0 {
+			mIPS.Set(float64(len(indices)) / sec)
+		}
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, epochLoss)
 		}

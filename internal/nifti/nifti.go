@@ -27,6 +27,17 @@ const (
 	magic      = "n+1\x00"
 )
 
+// MaxVoxels caps the volume size Read accepts. A full-resolution CT-ORG
+// volume is 512×512×~1000 ≈ 2.6e8 voxels; the cap leaves headroom above
+// that while refusing headers that declare hundreds of gigabytes (the
+// three int16 dims can claim up to 32767³).
+const MaxVoxels = 1 << 28
+
+// readChunk is the voxel granularity Read streams at, so a header that
+// declares a huge volume over a truncated body fails after reading the
+// bytes actually present instead of allocating the declared size up front.
+const readChunk = 1 << 18
+
 // Volume is a 3D image with float32 voxels (after scl scaling) plus the
 // storage datatype used on disk.
 type Volume struct {
@@ -189,7 +200,9 @@ func clamp(f, lo, hi float32) float32 {
 }
 
 // Read parses a single-file NIfTI-1 image written by Write (or any
-// little-endian .nii with a supported datatype).
+// little-endian .nii with a supported datatype). Malformed input yields an
+// error, never a panic, and memory use is bounded by the bytes actually
+// present in r (plus the MaxVoxels cap), not by what the header declares.
 func Read(r io.Reader) (*Volume, error) {
 	var h header
 	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
@@ -208,58 +221,82 @@ func Read(r io.Reader) (*Volume, error) {
 	if nx <= 0 || ny <= 0 || nz <= 0 {
 		return nil, fmt.Errorf("nifti: invalid dimensions %d×%d×%d", nx, ny, nz)
 	}
+	total := int64(nx) * int64(ny) * int64(nz)
+	if total > MaxVoxels {
+		return nil, fmt.Errorf("nifti: volume %d×%d×%d exceeds %d voxels", nx, ny, nz, int64(MaxVoxels))
+	}
 	if _, err := bitpix(h.Datatype); err != nil {
 		return nil, err
 	}
-	// Skip to voxel data.
-	skip := int(h.VoxOffset) - headerSize
-	if skip < 0 {
-		return nil, fmt.Errorf("nifti: vox_offset %v before end of header", h.VoxOffset)
+	// Skip to voxel data. vox_offset is stored as float32; reject
+	// non-finite or absurd values before converting to an integer (the
+	// float→int conversion of NaN/±Inf is implementation-defined).
+	off := float64(h.VoxOffset)
+	if math.IsNaN(off) || off < headerSize || off > 1<<30 {
+		return nil, fmt.Errorf("nifti: bad vox_offset %v", h.VoxOffset)
 	}
-	if _, err := io.CopyN(io.Discard, r, int64(skip)); err != nil {
+	if _, err := io.CopyN(io.Discard, r, int64(off)-headerSize); err != nil {
 		return nil, fmt.Errorf("nifti: skipping to voxels: %w", err)
 	}
-	v := NewVolume(nx, ny, nz, h.Datatype)
-	v.PixDim = [3]float32{h.Pixdim[1], h.Pixdim[2], h.Pixdim[3]}
 	slope, inter := h.SclSlope, h.SclInter
 	if slope == 0 {
 		slope = 1
 	}
-	if err := readVoxels(r, v, slope, inter); err != nil {
+	data, err := readVoxels(r, h.Datatype, total, slope, inter)
+	if err != nil {
 		return nil, err
 	}
-	return v, nil
+	return &Volume{
+		Nx: nx, Ny: ny, Nz: nz,
+		Data:     data,
+		Datatype: h.Datatype,
+		PixDim:   [3]float32{h.Pixdim[1], h.Pixdim[2], h.Pixdim[3]},
+	}, nil
 }
 
-func readVoxels(r io.Reader, v *Volume, slope, inter float32) error {
-	n := len(v.Data)
-	switch v.Datatype {
-	case DTUint8:
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("nifti: reading voxels: %w", err)
-		}
-		for i, b := range buf {
-			v.Data[i] = float32(b)*slope + inter
-		}
+// readVoxels streams total voxels of the given datatype in readChunk-sized
+// steps, so truncated input fails with an error after consuming only the
+// bytes present.
+func readVoxels(r io.Reader, datatype int16, total int64, slope, inter float32) ([]float32, error) {
+	elem := 1
+	switch datatype {
 	case DTInt16:
-		buf := make([]byte, 2*n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("nifti: reading voxels: %w", err)
-		}
-		for i := 0; i < n; i++ {
-			v.Data[i] = float32(int16(binary.LittleEndian.Uint16(buf[2*i:])))*slope + inter
-		}
+		elem = 2
 	case DTFloat32:
-		buf := make([]byte, 4*n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("nifti: reading voxels: %w", err)
-		}
-		for i := 0; i < n; i++ {
-			v.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))*slope + inter
-		}
+		elem = 4
 	}
-	return nil
+	first := total
+	if first > readChunk {
+		first = readChunk
+	}
+	data := make([]float32, 0, first)
+	buf := make([]byte, readChunk*elem)
+	for done := int64(0); done < total; {
+		n := total - done
+		if n > readChunk {
+			n = readChunk
+		}
+		b := buf[:int(n)*elem]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("nifti: reading voxels: %w", err)
+		}
+		switch datatype {
+		case DTUint8:
+			for _, v := range b {
+				data = append(data, float32(v)*slope+inter)
+			}
+		case DTInt16:
+			for i := 0; i < int(n); i++ {
+				data = append(data, float32(int16(binary.LittleEndian.Uint16(b[2*i:])))*slope+inter)
+			}
+		case DTFloat32:
+			for i := 0; i < int(n); i++ {
+				data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))*slope+inter)
+			}
+		}
+		done += n
+	}
+	return data, nil
 }
 
 // WriteFile writes the volume to path.

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounterAndHistogram hammers one counter, one gauge and one
+// histogram from many goroutines and checks nothing is lost. Run with
+// -race this also proves the update paths are data-race free.
+func TestConcurrentCounterAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("seneca_cc_total", "h")
+	g := r.Gauge("seneca_cc_gauge", "h")
+	h := r.Histogram("seneca_cc_seconds", "h", []float64{0.5})
+
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				if i%2 == 0 {
+					h.Observe(0.25)
+				} else {
+					h.Observe(0.75)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if c.Value() != total {
+		t.Fatalf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != float64(total) {
+		t.Fatalf("gauge = %v, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), total)
+	}
+	want := float64(total/2)*0.25 + float64(total/2)*0.75
+	if h.Sum() != want {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+	out := r.Expose()
+	if !strings.Contains(out, fmt.Sprintf(`seneca_cc_seconds_bucket{le="0.5"} %d`, total/2)) {
+		t.Fatalf("low bucket wrong:\n%s", out)
+	}
+}
+
+// TestConcurrentRegistration races many goroutines registering the same
+// and different names; every goroutine must end up with a working handle
+// and the registry must contain exactly one family per name.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Counter("seneca_shared_total", "h").Inc()
+				r.Counter(fmt.Sprintf("seneca_own_%d_total", w), "h").Inc()
+				r.Histogram("seneca_shared_seconds", "h", nil, L("w", fmt.Sprint(w%4))).Observe(0.001)
+				r.StartSpan("reg-race").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("seneca_shared_total", "h").Value(); got != workers*50 {
+		t.Fatalf("shared counter = %d, want %d", got, workers*50)
+	}
+	out := r.Expose()
+	if n := strings.Count(out, "# TYPE seneca_shared_total counter"); n != 1 {
+		t.Fatalf("family emitted %d times, want 1", n)
+	}
+	if !strings.Contains(out, fmt.Sprintf(`seneca_stage_runs_total{stage="reg-race"} %d`, workers*50)) {
+		t.Fatalf("span runs wrong:\n%s", out)
+	}
+}
+
+// TestSnapshotConsistencyUnderLoad scrapes the registry while writers are
+// mutating it, asserting every snapshot is internally sane: cumulative
+// bucket counts are monotone and bucket(+Inf) equals the sample count.
+func TestSnapshotConsistencyUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("seneca_snap_seconds", "h", []float64{0.1, 0.2, 0.4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.05, 0.15, 0.3, 0.5}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(vals[(i+w)%len(vals)])
+				}
+			}
+		}(w)
+	}
+	for scrape := 0; scrape < 50; scrape++ {
+		out := r.Expose()
+		var b1, b2, b3, binf, count uint64
+		for _, line := range strings.Split(out, "\n") {
+			switch {
+			case strings.HasPrefix(line, `seneca_snap_seconds_bucket{le="0.1"}`):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b1)
+			case strings.HasPrefix(line, `seneca_snap_seconds_bucket{le="0.2"}`):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b2)
+			case strings.HasPrefix(line, `seneca_snap_seconds_bucket{le="0.4"}`):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &b3)
+			case strings.HasPrefix(line, `seneca_snap_seconds_bucket{le="+Inf"}`):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &binf)
+			case strings.HasPrefix(line, "seneca_snap_seconds_count"):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count)
+			}
+		}
+		if b1 > b2 || b2 > b3 {
+			t.Fatalf("scrape %d: cumulative buckets not monotone: %d %d %d", scrape, b1, b2, b3)
+		}
+		if binf != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != count %d", scrape, binf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

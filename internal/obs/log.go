@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the structured logger shared by the SENECA binaries: a
+// text-format (logfmt-style key=value) slog handler at the given level
+// with a constant "component" attribute identifying the binary or
+// subsystem. Timestamps use slog's default RFC3339 rendering.
+func NewLogger(w io.Writer, level slog.Level, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With(slog.String("component", component))
+}
+
+// ParseLevel maps a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) to a slog.Level, defaulting to Info for
+// anything unrecognized.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// SetupDefault installs the shared logger as both the slog default and
+// the destination of the legacy log package, so every binary emits one
+// consistent stream on stderr. It returns the logger.
+func SetupDefault(component string, level slog.Level) *slog.Logger {
+	lg := NewLogger(os.Stderr, level, component)
+	slog.SetDefault(lg)
+	return lg
+}

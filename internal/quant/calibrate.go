@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"seneca/internal/graph"
+	"seneca/internal/obs"
 	"seneca/internal/tensor"
 )
 
@@ -26,6 +27,7 @@ func Calibrate(g *graph.Graph, images []*tensor.Tensor) (*Calibration, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("quant: empty calibration set")
 	}
+	defer obs.Time("calibrate")()
 	cal := &Calibration{MaxAbs: make(map[string]float32), Images: len(images)}
 	for _, img := range images {
 		_, err := g.Forward(img, func(n *graph.Node, out *tensor.Tensor) {

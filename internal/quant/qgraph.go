@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seneca/internal/graph"
+	"seneca/internal/obs"
 	"seneca/internal/tensor"
 )
 
@@ -76,6 +77,7 @@ type Options struct {
 // Quantize converts a folded FP32 graph into a QGraph using calibration
 // statistics — the PTQ step of Figure 1(D).
 func Quantize(g *graph.Graph, cal *Calibration, opt Options) (*QGraph, error) {
+	defer obs.Time("quantize")()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("quant: quantizing invalid graph: %w", err)
 	}

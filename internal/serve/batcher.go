@@ -111,9 +111,12 @@ func (s *Server) execute(w *worker, batch []*job) {
 		return
 	}
 	s.stats.recordBatch(len(live), res)
+	s.mOccupancy.Observe(float64(len(live)))
 	now := time.Now()
 	for i, j := range live {
-		s.stats.lat.record(now.Sub(j.accepted))
+		lat := now.Sub(j.accepted)
+		s.stats.lat.record(lat)
+		s.mLatency.Observe(lat.Seconds())
 		j.done <- outcome{mask: masks[i], batch: len(live)}
 	}
 	s.stats.completed.Add(uint64(len(live)))

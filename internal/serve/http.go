@@ -25,6 +25,7 @@ const maxBodyBytes = 256 << 20
 //	POST /v1/segment   one CT slice in, one INT8-argmax mask out
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /statz        Stats snapshot as JSON
+//	GET  /metrics      the same numbers in Prometheus text format
 //
 // /v1/segment accepts three request encodings, selected by Content-Type:
 //
@@ -41,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/segment", s.handleSegment)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.Handle("/metrics", s.reg.Handler())
 	return mux
 }
 

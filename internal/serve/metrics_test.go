@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"seneca/internal/obs"
+)
+
+// TestMetricsEndpoint serves traffic and checks GET /metrics exposes the
+// acceptance-critical series — queue depth, the latency histogram, batch
+// occupancy and the simulated FPS/W estimate — in Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, data, _ := startHTTP(t, Config{Threads: 2, MaxBatch: 4})
+
+	// Serve a few requests so every series has data.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(EncodeInput(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("segment: HTTP %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE seneca_serve_queue_depth gauge",
+		"seneca_serve_queue_depth 0",
+		"seneca_serve_queue_capacity",
+		"# TYPE seneca_serve_requests_total counter",
+		`seneca_serve_requests_total{outcome="completed"} 3`,
+		`seneca_serve_requests_total{outcome="rejected"} 0`,
+		"# TYPE seneca_serve_request_latency_seconds histogram",
+		"seneca_serve_request_latency_seconds_count 3",
+		"# TYPE seneca_serve_batch_occupancy histogram",
+		"seneca_serve_sim_fps ",
+		"seneca_serve_sim_watts ",
+		"seneca_serve_sim_fps_per_watt ",
+		`seneca_serve_info{device="DPUCZDX8G-B4096 ×2 @ ZCU104",model="tiny"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+
+	// Basic text-format validity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndex(line, " "); i <= 0 || i == len(line)-1 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestMetricsSharedRegistry checks a server wired into a caller-supplied
+// registry reports there, alongside pre-existing series.
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("seneca_external_total", "pre-existing series").Inc()
+	s, _, _, imgs := newTestServer(t, Config{Threads: 2, Metrics: reg})
+	if s.Metrics() != reg {
+		t.Fatal("server must adopt the supplied registry")
+	}
+	if _, err := s.Submit(t.Context(), imgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := reg.Expose()
+	for _, want := range []string{
+		"seneca_external_total 1",
+		`seneca_serve_requests_total{outcome="completed"} 1`,
+		"seneca_serve_batch_occupancy_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shared registry missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"seneca/internal/obs"
+)
+
+// initMetrics re-exports the server's internal counter block through an
+// obs.Registry, so GET /metrics exposes the same numbers as GET /statz in
+// Prometheus text format. Counters and gauges are callback-backed — the
+// atomics in stats remain the single source of truth — while the latency
+// and batch-occupancy histograms are real obs histograms fed on the
+// completion path. When several servers share one registry (e.g.
+// obs.Default), the most recently constructed one owns the callbacks.
+func (s *Server) initMetrics(reg *obs.Registry) {
+	s.reg = reg
+
+	reg.GaugeFunc("seneca_serve_queue_depth",
+		"Requests currently waiting in the admission queue.",
+		func() float64 { return float64(s.stats.depth.Load()) })
+	reg.GaugeFunc("seneca_serve_queue_capacity",
+		"Admission queue capacity; beyond it requests are rejected with 429.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("seneca_serve_inflight_batches",
+		"Micro-batches currently executing on the runner pool.",
+		func() float64 {
+			var n int32
+			for _, w := range s.pool {
+				n += w.inflight.Load()
+			}
+			return float64(n)
+		})
+
+	outcomes := map[string]func() uint64{
+		"accepted":  s.stats.accepted.Load,
+		"rejected":  s.stats.rejected.Load,
+		"completed": s.stats.completed.Load,
+		"expired":   s.stats.expired.Load,
+		"failed":    s.stats.failed.Load,
+	}
+	for outcome, load := range outcomes {
+		reg.CounterFunc("seneca_serve_requests_total",
+			"Requests by terminal outcome (accepted counts admissions).",
+			load, obs.L("outcome", outcome))
+	}
+	reg.CounterFunc("seneca_serve_batches_total",
+		"Micro-batches dispatched to the runner pool.",
+		s.stats.batches.Load)
+	reg.CounterFunc("seneca_serve_frames_total",
+		"Frames completed across all batches (summed batch occupancy).",
+		s.stats.frames.Load)
+
+	s.mLatency = reg.Histogram("seneca_serve_request_latency_seconds",
+		"End-to-end request latency from admission to completion.",
+		obs.DefBuckets)
+	s.mOccupancy = reg.Histogram("seneca_serve_batch_occupancy",
+		"Live requests per dispatched micro-batch.",
+		obs.BatchBuckets)
+
+	sim := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	reg.GaugeFunc("seneca_serve_sim_fps",
+		"Simulated deployment throughput for the traffic served so far (paper: 335.4 FPS).",
+		sim(func(st Stats) float64 { return st.SimFPS }))
+	reg.GaugeFunc("seneca_serve_sim_watts",
+		"Simulated board power for the traffic served so far.",
+		sim(func(st Stats) float64 { return st.SimWatts }))
+	reg.GaugeFunc("seneca_serve_sim_fps_per_watt",
+		"Simulated energy efficiency (paper: 11.81 FPS/W on the ZCU104).",
+		sim(func(st Stats) float64 { return st.SimFPSPerWatt }))
+
+	reg.Gauge("seneca_serve_info",
+		"Serving configuration (constant 1; dimensions carry the config).",
+		obs.L("model", s.prog.Name), obs.L("device", s.dev.Cfg.Name)).Set(1)
+}
+
+// Metrics returns the registry this server reports into. It is the
+// Config.Metrics registry when one was supplied, otherwise a private one
+// created at construction.
+func (s *Server) Metrics() *obs.Registry { return s.reg }

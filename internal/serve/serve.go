@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"seneca/internal/dpu"
+	"seneca/internal/obs"
 	"seneca/internal/tensor"
 	"seneca/internal/vart"
 	"seneca/internal/xmodel"
@@ -60,6 +61,11 @@ type Config struct {
 	Timeout time.Duration
 	// Seed controls simulated measurement jitter (0 = deterministic).
 	Seed int64
+	// Metrics is the observability registry the server reports into (and
+	// that GET /metrics serves). nil gives the server a private registry;
+	// pass obs.Default to merge the serving series with the pipeline
+	// stage timers into one scrape.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +120,10 @@ type Server struct {
 	stats stats
 	seq   atomic.Int64 // batch sequence number, perturbs the sim seed
 
+	reg        *obs.Registry
+	mLatency   *obs.Histogram
+	mOccupancy *obs.Histogram
+
 	frameLatency time.Duration // single-frame single-core latency
 }
 
@@ -157,6 +167,11 @@ func New(dev *dpu.Device, prog *xmodel.Program, cfg Config) (*Server, error) {
 		s.slots <- struct{}{}
 	}
 	s.stats.lat.init(latencyWindow)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.initMetrics(reg)
 	s.batcher.Add(1)
 	go s.batchLoop()
 	return s, nil

@@ -20,6 +20,7 @@ import (
 
 	"seneca/internal/dpu"
 	"seneca/internal/energy"
+	"seneca/internal/obs"
 	"seneca/internal/tensor"
 	"seneca/internal/xmodel"
 )
@@ -93,6 +94,7 @@ func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) (Resul
 	if r.Threads < 1 {
 		return Result{}, ErrNoThreads
 	}
+	defer obs.Time("simulate")()
 	ft := r.Device.TimeFrame(r.Program)
 	rng := rand.New(rand.NewSource(seed))
 

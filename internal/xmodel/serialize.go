@@ -235,13 +235,24 @@ func Read(r io.Reader) (*Program, error) {
 		if wlen > 1<<28 {
 			return nil, fmt.Errorf("xmodel: implausible weight length %d", wlen)
 		}
-		wbuf := make([]byte, wlen)
-		if _, err := io.ReadFull(br, wbuf); err != nil {
-			return nil, err
-		}
-		n.Weight = make([]int8, wlen)
-		for j, b := range wbuf {
-			n.Weight[j] = int8(b)
+		// Read large payloads in chunks so a header that declares a huge
+		// tensor over a truncated body fails after consuming the bytes
+		// actually present, without allocating the declared size up front.
+		const chunk = 1 << 16
+		n.Weight = make([]int8, 0, min64(int64(wlen), chunk))
+		wbuf := make([]byte, chunk)
+		for got := uint32(0); got < wlen; {
+			c := wlen - got
+			if c > chunk {
+				c = chunk
+			}
+			if _, err := io.ReadFull(br, wbuf[:c]); err != nil {
+				return nil, fmt.Errorf("xmodel: reading weights: %w", err)
+			}
+			for _, b := range wbuf[:c] {
+				n.Weight = append(n.Weight, int8(b))
+			}
+			got += c
 		}
 		blen, err := ru32()
 		if err != nil {
@@ -250,11 +261,13 @@ func Read(r io.Reader) (*Program, error) {
 		if blen > 1<<24 {
 			return nil, fmt.Errorf("xmodel: implausible bias length %d", blen)
 		}
-		n.Bias = make([]int32, blen)
-		for j := range n.Bias {
-			if n.Bias[j], err = ri32(); err != nil {
-				return nil, err
+		n.Bias = make([]int32, 0, min64(int64(blen), chunk))
+		for j := uint32(0); j < blen; j++ {
+			b, err := ri32()
+			if err != nil {
+				return nil, fmt.Errorf("xmodel: reading bias: %w", err)
 			}
+			n.Bias = append(n.Bias, b)
 		}
 		if n.Kind == graph.KindInput {
 			g.InputName = n.Name
@@ -262,6 +275,9 @@ func Read(r io.Reader) (*Program, error) {
 		g.Nodes = append(g.Nodes, n)
 	}
 	g.RebuildIndex()
+	if err := validateLoaded(g); err != nil {
+		return nil, err
+	}
 	// Re-derive the schedule: the stored graph is already fused, and
 	// Compile's fusion pass is idempotent on fused graphs.
 	prog, err := Compile(g, name)
@@ -269,6 +285,86 @@ func Read(r io.Reader) (*Program, error) {
 		return nil, fmt.Errorf("xmodel: recompiling loaded graph: %w", err)
 	}
 	return prog, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// loadedArity is the required input count per operator kind for graphs
+// arriving from disk. Kinds absent here (batch norm, dropout, unknown
+// codes) cannot appear in a quantized graph and are rejected.
+var loadedArity = map[graph.Kind]int{
+	graph.KindInput:         0,
+	graph.KindConv:          1,
+	graph.KindConvTranspose: 1,
+	graph.KindReLU:          1,
+	graph.KindMaxPool:       1,
+	graph.KindConcat:        2,
+	graph.KindSoftmax:       1,
+}
+
+// maxLoadedDim bounds every geometry field of a deserialized node. Paper
+// models top out at 512-pixel feature maps and 1024 channels.
+const maxLoadedDim = 1 << 16
+
+// validateLoaded rejects structurally-invalid graphs before they reach
+// Compile or the executor, which assume well-formed input (e.g. fusion
+// indexes a ReLU's first input; lowering divides by a transpose
+// convolution's stride). Untrusted bytes must fail here with an error,
+// never panic downstream.
+func validateLoaded(g *quant.QGraph) error {
+	seen := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("xmodel: node with empty name")
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("xmodel: duplicate node %q", n.Name)
+		}
+		want, ok := loadedArity[n.Kind]
+		if !ok {
+			return fmt.Errorf("xmodel: node %q: kind %s not allowed in a compiled graph", n.Name, n.Kind)
+		}
+		if len(n.Inputs) != want {
+			return fmt.Errorf("xmodel: node %q: %s wants %d inputs, has %d", n.Name, n.Kind, want, len(n.Inputs))
+		}
+		// Write stores nodes in topological order, so inputs must already
+		// be defined; this also excludes self-references and cycles.
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("xmodel: node %q: input %q not defined before use", n.Name, in)
+			}
+		}
+		for _, d := range n.OutShape {
+			if d < 0 || d > maxLoadedDim {
+				return fmt.Errorf("xmodel: node %q: output shape %v out of range", n.Name, n.OutShape)
+			}
+		}
+		if n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose {
+			switch {
+			case n.Kernel < 1 || n.Kernel > maxLoadedDim:
+				return fmt.Errorf("xmodel: node %q: bad kernel %d", n.Name, n.Kernel)
+			case n.Stride < 1 || n.Stride > maxLoadedDim:
+				return fmt.Errorf("xmodel: node %q: bad stride %d", n.Name, n.Stride)
+			case n.Pad < 0 || n.OutPad < 0:
+				return fmt.Errorf("xmodel: node %q: negative padding", n.Name)
+			case n.InC < 1 || n.InC > maxLoadedDim || n.OutC < 1 || n.OutC > maxLoadedDim:
+				return fmt.Errorf("xmodel: node %q: bad channels %d→%d", n.Name, n.InC, n.OutC)
+			}
+		}
+		seen[n.Name] = true
+	}
+	if g.InputName == "" {
+		return fmt.Errorf("xmodel: graph has no input node")
+	}
+	if !seen[g.OutputName] {
+		return fmt.Errorf("xmodel: output %q not defined", g.OutputName)
+	}
+	return nil
 }
 
 // WriteFile serializes the program to path.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"seneca/internal/graph"
+	"seneca/internal/obs"
 	"seneca/internal/quant"
 	"seneca/internal/tensor"
 )
@@ -76,6 +77,7 @@ type Program struct {
 // Compile optimizes and lowers a quantized graph. The input QGraph is not
 // modified: fusion operates on a copy.
 func Compile(q *quant.QGraph, name string) (*Program, error) {
+	defer obs.Time("compile")()
 	fused, err := fuseActivations(q)
 	if err != nil {
 		return nil, err

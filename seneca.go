@@ -38,6 +38,7 @@ import (
 	"seneca/internal/experiments"
 	"seneca/internal/gpusim"
 	"seneca/internal/metrics"
+	"seneca/internal/obs"
 	"seneca/internal/phantom"
 	"seneca/internal/serve"
 	"seneca/internal/unet"
@@ -96,6 +97,11 @@ type (
 	ServeStats = serve.Stats
 	// LoadPoint is one row of a closed-loop serving load sweep.
 	LoadPoint = serve.LoadPoint
+	// MetricsRegistry collects counters, gauges and histograms and renders
+	// them in Prometheus text exposition format (internal/obs).
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name=value label pair on a metric series.
+	MetricLabel = obs.Label
 )
 
 // Calibration and quantization mode constants.
@@ -209,3 +215,13 @@ func TinyScale() ExperimentScale { return experiments.TinyScale() }
 func NewExperiments(s ExperimentScale, log io.Writer) *Experiments {
 	return experiments.NewEnv(s, log)
 }
+
+// Metrics returns the process-wide metrics registry. Pipeline stage timers
+// (train, calibrate, quantize, compile, simulate) land here; pass it as
+// ServeConfig.Metrics / TrainConfig.Metrics to collect everything in one
+// scrape. Expose it over HTTP with Metrics().Handler().
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// NewMetricsRegistry returns an empty private registry, for callers that
+// want per-run isolation instead of the shared default.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
