@@ -1,10 +1,13 @@
 GO ?= go
 
-# Tier-1 kernel micro-benchmarks: cheap, deterministic workloads whose
-# regressions are tracked in BENCH_PR2.json (see `make bench`).
+# Tier-1 kernel micro-benchmarks: cheap, deterministic workloads snapshotted
+# per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
+# snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
+BENCH_SNAPSHOT   = BENCH_PR3.json
+BENCH_BASELINE   = BENCH_PR2.json
 
-.PHONY: ci build vet test race fmt-check bench bench-all fuzz
+.PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz
 
 # ci is the gate GitHub Actions runs: formatting, build, vet, race tests.
 ci: fmt-check build vet race
@@ -21,11 +24,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the tier-1 benchmarks and snapshots them to BENCH_PR2.json
-# ({name, ns_per_op, allocs_per_op}); compare against the committed file to
-# spot regressions (see README "Benchmark regression tracking").
+# bench runs the tier-1 benchmarks and snapshots them to $(BENCH_SNAPSHOT)
+# ({name, ns_per_op, allocs_per_op}); compare against the committed previous
+# snapshot to spot regressions (see README "Benchmark regression tracking").
 bench:
-	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem . | $(GO) run ./cmd/seneca-benchjson -out BENCH_PR2.json
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem . | $(GO) run ./cmd/seneca-benchjson -out $(BENCH_SNAPSHOT)
+
+# bench-compare re-runs the tier-1 benchmarks and prints the delta against
+# the committed $(BENCH_BASELINE) baseline. Informational only: regressions
+# never fail the target (micro-benchmarks are noisy across runners), so CI
+# runs it with continue-on-error.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchmem . | $(GO) run ./cmd/seneca-benchjson -q -compare $(BENCH_BASELINE)
 
 # bench-all additionally runs the heavy table/figure reproduction benches.
 bench-all:

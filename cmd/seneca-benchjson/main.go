@@ -82,9 +82,47 @@ func parseBench(r io.Reader, echo io.Writer) ([]Entry, error) {
 	return out, nil
 }
 
+// writeComparison renders a delta table of entries against the baseline
+// snapshot previously written by -out. It reports, never judges: regressions
+// are printed but do not fail the run, so CI can surface deltas without
+// blocking merges on noisy micro-benchmarks.
+func writeComparison(w io.Writer, baseline []Entry, entries []Entry) {
+	base := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	fmt.Fprintf(w, "%-24s %15s %15s %9s %9s\n", "benchmark", "base ns/op", "new ns/op", "Δns", "Δallocs")
+	for _, e := range entries {
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %15s %15.0f %9s %9s\n", e.Name, "(new)", e.NsPerOp, "", "")
+			continue
+		}
+		dns := "n/a"
+		if b.NsPerOp > 0 {
+			dns = fmt.Sprintf("%+.1f%%", (e.NsPerOp-b.NsPerOp)/b.NsPerOp*100)
+		}
+		dallocs := "n/a"
+		if b.AllocsPerOp >= 0 && e.AllocsPerOp >= 0 {
+			dallocs = fmt.Sprintf("%+d", e.AllocsPerOp-b.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-24s %15.0f %15.0f %9s %9s\n", e.Name, b.NsPerOp, e.NsPerOp, dns, dallocs)
+		delete(base, e.Name)
+	}
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-24s %15.0f %15s %9s %9s\n", n, base[n].NsPerOp, "(gone)", "", "")
+	}
+}
+
 func main() {
 	outPath := flag.String("out", "", "JSON output path (empty: stdout only)")
 	quiet := flag.Bool("q", false, "do not echo input lines")
+	comparePath := flag.String("compare", "", "baseline JSON snapshot to print a delta table against (informational: regressions never fail the run)")
 	flag.Parse()
 
 	var echo io.Writer = os.Stdout
@@ -100,6 +138,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "seneca-benchjson: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	if *comparePath != "" {
+		blob, err := os.ReadFile(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seneca-benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline []Entry
+		if err := json.Unmarshal(blob, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "seneca-benchjson: bad baseline %s: %v\n", *comparePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndelta vs %s:\n", *comparePath)
+		writeComparison(os.Stdout, baseline, entries)
+	}
 	blob, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seneca-benchjson:", err)
@@ -107,7 +159,9 @@ func main() {
 	}
 	blob = append(blob, '\n')
 	if *outPath == "" {
-		os.Stdout.Write(blob)
+		if *comparePath == "" {
+			os.Stdout.Write(blob)
+		}
 		return
 	}
 	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {

@@ -42,6 +42,25 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestWriteComparison(t *testing.T) {
+	baseline := []Entry{
+		{Name: "INT8Inference", NsPerOp: 38964504, AllocsPerOp: 1036},
+		{Name: "Removed", NsPerOp: 100, AllocsPerOp: 1},
+	}
+	entries := []Entry{
+		{Name: "Added", NsPerOp: 42, AllocsPerOp: 3},
+		{Name: "INT8Inference", NsPerOp: 19482252, AllocsPerOp: 100},
+	}
+	var buf bytes.Buffer
+	writeComparison(&buf, baseline, entries)
+	out := buf.String()
+	for _, want := range []string{"-50.0%", "-936", "(new)", "(gone)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseBenchRejectsGarbageNumbers(t *testing.T) {
 	_, err := parseBench(strings.NewReader("BenchmarkX-4 10 zzz ns/op\n"), nil)
 	if err == nil {

@@ -36,18 +36,28 @@ func (c *Confusion) Add(pred, gt []uint8) {
 		panic(fmt.Sprintf("metrics: prediction length %d vs ground truth %d", len(pred), len(gt)))
 	}
 	n := int64(len(pred))
-	// Count per-class TP/FP/FN in one pass; TN follows from the totals.
+	// Count this pair's TP/FP/FN in one pass; TN follows from the pair's
+	// own totals. The deltas must come from this call alone — deriving TN
+	// from the cumulative counters counts every earlier pair's positives
+	// against this pair's pixel total, understating TN more with each call
+	// (and eventually driving it negative).
+	dTP := make([]int64, c.NumClasses)
+	dFP := make([]int64, c.NumClasses)
+	dFN := make([]int64, c.NumClasses)
 	for i := range pred {
 		p, g := pred[i], gt[i]
 		if p == g {
-			c.TP[p]++
+			dTP[p]++
 		} else {
-			c.FP[p]++
-			c.FN[g]++
+			dFP[p]++
+			dFN[g]++
 		}
 	}
 	for cls := 0; cls < c.NumClasses; cls++ {
-		c.TN[cls] += n - c.TP[cls] - c.FP[cls] - c.FN[cls]
+		c.TP[cls] += dTP[cls]
+		c.FP[cls] += dFP[cls]
+		c.FN[cls] += dFN[cls]
+		c.TN[cls] += n - dTP[cls] - dFP[cls] - dFN[cls]
 	}
 }
 

@@ -128,6 +128,46 @@ func TestConfusionCountsConserve(t *testing.T) {
 	}
 }
 
+// TestIncrementalAddMatchesOneShot is the regression test for the TN
+// accumulation bug: Add derived TN from the *cumulative* TP/FP/FN counters,
+// so from the second call on every earlier pair's positives were subtracted
+// from the current pair's pixel total — TN drifted low and could go
+// negative. Adding pairs one at a time must equal adding their
+// concatenation in a single call.
+func TestIncrementalAddMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const classes, pairs, n = 5, 7, 400
+	inc := NewConfusion(classes)
+	oneShot := NewConfusion(classes)
+	var allPred, allGT []uint8
+	for p := 0; p < pairs; p++ {
+		pred := make([]uint8, n)
+		gt := make([]uint8, n)
+		for i := range pred {
+			pred[i] = uint8(rng.Intn(classes))
+			gt[i] = uint8(rng.Intn(classes))
+		}
+		inc.Add(pred, gt)
+		allPred = append(allPred, pred...)
+		allGT = append(allGT, gt...)
+	}
+	oneShot.Add(allPred, allGT)
+	for cls := 0; cls < classes; cls++ {
+		if inc.TN[cls] < 0 {
+			t.Fatalf("class %d: negative TN %d after incremental adds", cls, inc.TN[cls])
+		}
+		if inc.TP[cls] != oneShot.TP[cls] || inc.FP[cls] != oneShot.FP[cls] ||
+			inc.FN[cls] != oneShot.FN[cls] || inc.TN[cls] != oneShot.TN[cls] {
+			t.Fatalf("class %d: incremental (TP %d FP %d FN %d TN %d) != one-shot (TP %d FP %d FN %d TN %d)",
+				cls, inc.TP[cls], inc.FP[cls], inc.FN[cls], inc.TN[cls],
+				oneShot.TP[cls], oneShot.FP[cls], oneShot.FN[cls], oneShot.TN[cls])
+		}
+		if sum := inc.TP[cls] + inc.FP[cls] + inc.FN[cls] + inc.TN[cls]; sum != pairs*n {
+			t.Fatalf("class %d: counts sum to %d, want %d", cls, sum, pairs*n)
+		}
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := NewConfusion(2)
 	a.Add([]uint8{1, 0}, []uint8{1, 1})

@@ -61,6 +61,9 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
+	// Release the cached mask: inference after training must not pin
+	// training-batch-sized buffers.
+	r.lastMask = nil
 	return out
 }
 
@@ -98,7 +101,9 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if m.lastArg == nil {
 		panic(fmt.Sprintf("nn: %s Backward before Forward(train=true)", m.LayerName))
 	}
-	return tensor.MaxPool2x2Backward(grad, m.lastArg, m.lastH, m.lastW)
+	out := tensor.MaxPool2x2Backward(grad, m.lastArg, m.lastH, m.lastW)
+	m.lastArg = nil
+	return out
 }
 
 // Dropout zeroes a random fraction Rate of activations during training and
@@ -161,6 +166,7 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			out.Data[i] = grad.Data[i] * d.lastMask[i]
 		}
 	})
+	d.lastMask = nil
 	return out
 }
 
@@ -212,5 +218,6 @@ func (s *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			out.Data[idx] = p.Data[idx] * (grad.Data[idx] - dot)
 		}
 	})
+	s.lastOut = nil
 	return out
 }

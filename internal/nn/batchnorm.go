@@ -158,6 +158,10 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	})
+	// Release the cached normalized batch so a trained model held for
+	// inference does not pin an N-image tensor.
+	b.lastXHat = nil
+	b.lastInvStd = nil
 	return gradIn
 }
 

@@ -128,6 +128,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			c.Bias.Grad.Data[oc] += s
 		}
 	}
+	// Release the cached batch: a model kept for inference after training
+	// must not pin its last training input in memory.
+	c.lastInput = nil
 	return gradIn
 }
 
@@ -256,5 +259,6 @@ func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			c.Bias.Grad.Data[oc] += s
 		}
 	}
+	c.lastInput = nil
 	return gradIn
 }

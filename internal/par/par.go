@@ -5,38 +5,90 @@
 // wait for completion; no goroutine outlives the call. The work function must
 // therefore be safe to run concurrently for disjoint index ranges, which all
 // callers in this module guarantee by writing to disjoint output regions.
+//
+// # Nested-parallelism budget
+//
+// The helpers share a global worker budget of MaxWorkers extra goroutines.
+// Each call reserves as many workers as are still available and runs the
+// remainder of its chunks on the calling goroutine, so a par loop that runs
+// inside an already-parallel region — a quant kernel under vart's submission
+// threads under the serving tier, or a par loop inside another par loop —
+// degrades toward serial execution instead of oversubscribing the machine
+// with NumCPU× goroutines at every nesting level. The reservation is
+// non-blocking, so nesting can never deadlock.
 package par
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers caps the per-call goroutine count. It is a variable so tests can
-// force serial execution.
-var maxWorkers = runtime.NumCPU()
+// maxWorkers caps the global number of concurrently running helper
+// goroutines. It is atomic so tests and benchmarks can toggle it while loops
+// are running (including under the race detector).
+var maxWorkers atomic.Int32
+
+// inFlight counts helper goroutines currently running across all concurrent
+// par calls; reservations against it enforce the nested-parallelism budget.
+var inFlight atomic.Int32
+
+func init() { maxWorkers.Store(int32(runtime.NumCPU())) }
 
 // SetMaxWorkers overrides the number of goroutines used by subsequent calls.
-// n < 1 resets to runtime.NumCPU(). It returns the previous value.
-// It is intended for tests and benchmarks; it is not safe to call
-// concurrently with running loops.
+// n < 1 resets to runtime.NumCPU(). It returns the previous value. It is
+// safe to call concurrently with running loops: loops already in flight keep
+// the worker count they reserved, later loops observe the new cap.
 func SetMaxWorkers(n int) int {
-	prev := maxWorkers
 	if n < 1 {
 		n = runtime.NumCPU()
 	}
-	maxWorkers = n
-	return prev
+	return int(maxWorkers.Swap(int32(n)))
 }
 
 // MaxWorkers reports the current goroutine cap.
-func MaxWorkers() int { return maxWorkers }
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// reserve grabs up to want extra workers from the global budget. The calling
+// goroutine always counts as one worker, so at most MaxWorkers-1 extra
+// goroutines are ever granted in total across concurrent loops.
+func reserve(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := inFlight.Load()
+		free := maxWorkers.Load() - 1 - cur
+		if free <= 0 {
+			return 0
+		}
+		grant := int32(want)
+		if grant > free {
+			grant = free
+		}
+		if inFlight.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+func release(n int) { inFlight.Add(int32(-n)) }
 
 // For runs body(i) for every i in [0, n) using up to MaxWorkers goroutines.
 // Iterations are distributed in contiguous chunks so adjacent indices land in
 // the same goroutine, which preserves cache locality for the dense-tensor
 // loops that dominate this code base.
 func For(n int, body func(i int)) {
+	// Serial fast path: with a worker cap of one (single-core hosts, loops
+	// nested under saturated outer parallelism) skip the chunk-closure
+	// allocation entirely — it keeps the steady-state INT8 inference path
+	// allocation-free apart from the returned mask.
+	if MaxWorkers() == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -44,16 +96,21 @@ func For(n int, body func(i int)) {
 	})
 }
 
-// ForChunked splits [0, n) into at most MaxWorkers contiguous ranges and runs
-// body(lo, hi) for each range concurrently. Small n degrades gracefully to a
-// single serial call.
+// ForChunked splits [0, n) into contiguous ranges and runs body(lo, hi) for
+// each range concurrently, using the calling goroutine plus however many
+// extra workers the global budget currently allows. Small n, a worker cap of
+// one, and calls nested inside already-parallel regions all degrade
+// gracefully to a single serial call.
 func ForChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
+	workers := MaxWorkers()
 	if workers > n {
 		workers = n
+	}
+	if workers > 1 {
+		workers = 1 + reserve(workers-1)
 	}
 	if workers <= 1 {
 		body(0, n)
@@ -61,7 +118,9 @@ func ForChunked(n int, body func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	// Chunks after the first run on spawned workers; the first chunk runs on
+	// the calling goroutine so the caller always contributes.
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -72,11 +131,19 @@ func ForChunked(n int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(lo, hi)
 	}
+	body(0, chunk)
 	wg.Wait()
+	release(workers - 1)
 }
 
 // Map applies f to every index of dst in parallel, storing the result.
 func Map(dst []float32, f func(i int) float32) {
+	if MaxWorkers() == 1 {
+		for i := range dst {
+			dst[i] = f(i)
+		}
+		return
+	}
 	ForChunked(len(dst), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = f(i)
@@ -91,9 +158,12 @@ func ReduceSum(n int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	workers := maxWorkers
+	workers := MaxWorkers()
 	if workers > n {
 		workers = n
+	}
+	if workers > 1 {
+		workers = 1 + reserve(workers-1)
 	}
 	if workers <= 1 {
 		var s float64
@@ -106,7 +176,16 @@ func ReduceSum(n int, f func(i int) float64) float64 {
 	partials := make([]float64, 0, workers)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	sum := func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		mu.Lock()
+		partials = append(partials, s)
+		mu.Unlock()
+	}
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -114,16 +193,12 @@ func ReduceSum(n int, f func(i int) float64) float64 {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			mu.Lock()
-			partials = append(partials, s)
-			mu.Unlock()
+			sum(lo, hi)
 		}(lo, hi)
 	}
+	sum(0, chunk)
 	wg.Wait()
+	release(workers - 1)
 	var total float64
 	for _, p := range partials {
 		total += p

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -93,6 +94,81 @@ func TestMap(t *testing.T) {
 		if v != float32(i)*2 {
 			t.Fatalf("dst[%d] = %v, want %v", i, v, float32(i)*2)
 		}
+	}
+}
+
+// TestConcurrentSetMaxWorkers exercises SetMaxWorkers racing against running
+// loops — the benchmark/test toggling pattern — under the race detector.
+func TestConcurrentSetMaxWorkers(t *testing.T) {
+	prev := MaxWorkers()
+	defer SetMaxWorkers(prev)
+	stop := make(chan struct{})
+	var togglers sync.WaitGroup
+	for w := 1; w <= 4; w++ {
+		togglers.Add(1)
+		go func(w int) {
+			defer togglers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					SetMaxWorkers(w)
+				}
+			}
+		}(w)
+	}
+	for iter := 0; iter < 200; iter++ {
+		n := 64
+		hits := make([]int32, n)
+		ForChunked(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("iter %d: index %d hit %d times, want 1", iter, i, h)
+			}
+		}
+		if got := ReduceSum(100, func(i int) float64 { return float64(i) }); got != 4950 {
+			t.Fatalf("iter %d: ReduceSum = %v, want 4950", iter, got)
+		}
+	}
+	close(stop)
+	togglers.Wait()
+}
+
+// TestNestedLoopsStayWithinBudget verifies the nested-parallelism budget:
+// par loops spawned from within an already-parallel region must still cover
+// every index, and the total number of extra workers in flight must never
+// exceed MaxWorkers-1 regardless of nesting depth.
+func TestNestedLoopsStayWithinBudget(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	outer, inner := 8, 512
+	hits := make([]int32, outer*inner)
+	var peak int32
+	For(outer, func(i int) {
+		ForChunked(inner, func(lo, hi int) {
+			if f := inFlight.Load(); f > atomic.LoadInt32(&peak) {
+				atomic.StoreInt32(&peak, f)
+			}
+			for j := lo; j < hi; j++ {
+				atomic.AddInt32(&hits[i*inner+j], 1)
+			}
+		})
+	})
+	for idx, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times, want 1", idx, h)
+		}
+	}
+	if max := int32(MaxWorkers() - 1); peak > max {
+		t.Fatalf("observed %d extra workers in flight, budget is %d", peak, max)
+	}
+	if inFlight.Load() != 0 {
+		t.Fatalf("inFlight = %d after all loops returned, want 0", inFlight.Load())
 	}
 }
 

@@ -1,0 +1,229 @@
+package quant
+
+import (
+	"fmt"
+
+	"seneca/internal/graph"
+	"seneca/internal/tensor"
+)
+
+// Executor runs a quantized graph with a pre-sized scratch arena: one int8
+// activation buffer per node output, one im2col column buffer, one int32
+// transpose-convolution column buffer and one int32 accumulator region, all
+// sized once from the compiled graph and reused across layers and frames.
+// This removes every steady-state allocation from the INT8 execute path —
+// the per-layer make([]int8/int32, …) churn that made the functional
+// executor slower than the FP32 forward pass.
+//
+// An Executor is NOT safe for concurrent use; concurrent callers each take
+// their own from a pool (QGraph keeps one internally, dpu.Device keeps one
+// per device) or construct one with NewExecutor.
+type Executor struct {
+	g    *QGraph
+	acts map[string]*activation
+
+	cols   []uint8 // biased im2col scratch, max over convolution nodes
+	rowSum []int32 // per-pixel zero-point sums, max conv OH·OW
+	cols32 []int32 // Wᵀ·x column scratch, max over transpose convolutions
+	acc    []int32 // scatter accumulators, max over transpose convolutions
+}
+
+// roundUp4 pads a channel count to the 4-wide register tile of the blocked
+// GEMM kernels.
+func roundUp4(n int) int { return (n + 3) / 4 * 4 }
+
+// NewExecutor sizes a scratch arena for the graph and returns a reusable
+// executor. It fails on graphs with unsupported node kinds or dangling
+// inputs, so a malformed graph is rejected before execution rather than
+// panicking inside a kernel.
+func NewExecutor(q *QGraph) (*Executor, error) {
+	e := &Executor{g: q, acts: make(map[string]*activation, len(q.Nodes))}
+	var maxCols, maxRowSum, maxCols32, maxAcc int
+	for _, n := range q.Nodes {
+		var out *activation
+		in := func(i int) (*activation, error) {
+			if i >= len(n.Inputs) {
+				return nil, fmt.Errorf("quant: node %q is missing input %d", n.Name, i)
+			}
+			a := e.acts[n.Inputs[i]]
+			if a == nil {
+				return nil, fmt.Errorf("quant: node %q input %q has no producer", n.Name, n.Inputs[i])
+			}
+			return a, nil
+		}
+		switch n.Kind {
+		case graph.KindInput:
+			out = &activation{data: make([]int8, q.InC*q.InH*q.InW), c: q.InC, h: q.InH, w: q.InW}
+		case graph.KindConv:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			oh, ow := n.OutShape[1], n.OutShape[2]
+			out = &activation{data: make([]int8, n.OutC*oh*ow), c: n.OutC, h: oh, w: ow}
+			if c := a.c * n.Kernel * n.Kernel * oh * ow; c > maxCols {
+				maxCols = c
+			}
+			if c := oh * ow; c > maxRowSum {
+				maxRowSum = c
+			}
+		case graph.KindConvTranspose:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			oh, ow := n.OutShape[1], n.OutShape[2]
+			out = &activation{data: make([]int8, n.OutC*oh*ow), c: n.OutC, h: oh, w: ow}
+			if c := n.OutC * n.Kernel * n.Kernel * a.h * a.w; c > maxCols32 {
+				maxCols32 = c
+			}
+			if c := n.OutC * oh * ow; c > maxAcc {
+				maxAcc = c
+			}
+			// Biased HWC transpose of the input for the packed GEMM.
+			if c := a.c * a.h * a.w; c > maxCols {
+				maxCols = c
+			}
+			if c := a.h * a.w; c > maxRowSum {
+				maxRowSum = c
+			}
+		case graph.KindMaxPool:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			oh, ow := a.h/2, a.w/2
+			out = &activation{data: make([]int8, a.c*oh*ow), c: a.c, h: oh, w: ow}
+		case graph.KindReLU:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			out = &activation{data: make([]int8, len(a.data)), c: a.c, h: a.h, w: a.w}
+		case graph.KindConcat:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := in(1)
+			if err != nil {
+				return nil, err
+			}
+			if a.h != b.h || a.w != b.w {
+				return nil, fmt.Errorf("quant: node %q concatenates mismatched planes %dx%d vs %dx%d", n.Name, a.h, a.w, b.h, b.w)
+			}
+			out = &activation{data: make([]int8, (a.c+b.c)*a.h*a.w), c: a.c + b.c, h: a.h, w: a.w}
+		case graph.KindSoftmax:
+			a, err := in(0)
+			if err != nil {
+				return nil, err
+			}
+			out = a // host-side op: aliases its input activation
+		default:
+			return nil, fmt.Errorf("quant: unsupported node kind %s at %q", n.Kind, n.Name)
+		}
+		e.acts[n.Name] = out
+	}
+	if _, ok := e.acts[q.OutputName]; !ok {
+		return nil, fmt.Errorf("quant: graph output %q has no producer", q.OutputName)
+	}
+	e.cols = make([]uint8, maxCols)
+	e.rowSum = make([]int32, maxRowSum)
+	e.cols32 = make([]int32, maxCols32)
+	e.acc = make([]int32, maxAcc)
+	return e, nil
+}
+
+// run executes the graph into the arena, invoking tap (when non-nil) with
+// every node's output activation. Activation buffers stay valid until the
+// next run call.
+func (e *Executor) run(img *tensor.Tensor, tap func(*QNode, *activation)) error {
+	q := e.g
+	if img.Rank() != 3 || img.Shape[0] != q.InC || img.Shape[1] != q.InH || img.Shape[2] != q.InW {
+		return fmt.Errorf("quant: input shape %v, want [%d %d %d]", img.Shape, q.InC, q.InH, q.InW)
+	}
+	for _, n := range q.Nodes {
+		out := e.acts[n.Name]
+		switch n.Kind {
+		case graph.KindInput:
+			// Scale input slices by the factor stored in the xmodel
+			// (Section III-E).
+			QuantizeSlice(img.Data, q.InputFP, out.data)
+			out.fp = q.InputFP
+		case graph.KindConv:
+			in := e.acts[n.Inputs[0]]
+			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+			packed, wCorr := n.convPacked()
+			convInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum)
+			out.fp = n.OutFP
+		case graph.KindConvTranspose:
+			in := e.acts[n.Inputs[0]]
+			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+			packed, wCorr := n.dconvPacked()
+			convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum, e.cols32, e.acc)
+			out.fp = n.OutFP
+		case graph.KindMaxPool:
+			in := e.acts[n.Inputs[0]]
+			maxPoolInt8(in.data, in.c, in.h, in.w, out.data)
+			if in.fp != n.OutFP {
+				requantInt8(out.data, RequantShift(in.fp, n.OutFP), out.data)
+			}
+			out.fp = n.OutFP
+		case graph.KindReLU:
+			in := e.acts[n.Inputs[0]]
+			reluInt8(in.data, RequantShift(in.fp, n.OutFP), out.data)
+			out.fp = n.OutFP
+		case graph.KindConcat:
+			a := e.acts[n.Inputs[0]]
+			b := e.acts[n.Inputs[1]]
+			requantInt8(a.data, RequantShift(a.fp, n.OutFP), out.data[:len(a.data)])
+			requantInt8(b.data, RequantShift(b.fp, n.OutFP), out.data[len(a.data):])
+			out.fp = n.OutFP
+		case graph.KindSoftmax:
+			// Host-side op; out aliases the int8 logits (Execute handles the
+			// float conversion at the boundary).
+		}
+		if tap != nil {
+			tap(n, out)
+		}
+	}
+	return nil
+}
+
+// Execute runs the graph on one FP32 CHW image and returns the dequantized
+// output tensor (probabilities if the graph ends in softmax, logits
+// otherwise), exactly like QGraph.Execute but against this executor's arena.
+func (e *Executor) Execute(img *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := e.run(img, nil); err != nil {
+		return nil, err
+	}
+	q := e.g
+	outNode := q.byName[q.OutputName]
+	if outNode.Kind == graph.KindSoftmax {
+		in := e.acts[outNode.Inputs[0]]
+		logits := dequantizeToTensor(in.data, in.fp, [3]int{in.c, in.h, in.w})
+		s := tensor.SoftmaxChannels(logits.Reshape(1, in.c, in.h, in.w))
+		return s.Reshape(in.c, in.h, in.w), nil
+	}
+	out := e.acts[q.OutputName]
+	return dequantizeToTensor(out.data, out.fp, [3]int{out.c, out.h, out.w}), nil
+}
+
+// ExecuteLabels runs the graph and returns the per-pixel argmax class map
+// directly from the INT8 logits (argmax commutes with softmax), exactly as
+// the deployed DPU model returns INT8 masks. The returned mask is freshly
+// allocated — the only allocation on the steady-state INT8 path — because
+// callers retain masks beyond the next frame.
+func (e *Executor) ExecuteLabels(img *tensor.Tensor) ([]uint8, error) {
+	if err := e.run(img, nil); err != nil {
+		return nil, err
+	}
+	q := e.g
+	outNode := q.byName[q.OutputName]
+	src := outNode.Name
+	if outNode.Kind == graph.KindSoftmax {
+		src = outNode.Inputs[0]
+	}
+	a := e.acts[src]
+	return argmaxChannelsInt8(a.data, a.c, a.h*a.w), nil
+}

@@ -1,9 +1,6 @@
 package quant
 
 import (
-	"fmt"
-
-	"seneca/internal/graph"
 	"seneca/internal/tensor"
 )
 
@@ -15,109 +12,53 @@ type activation struct {
 	h, w int
 }
 
+// executor takes a pooled Executor for this graph, constructing one on
+// first use (and whenever concurrent callers drain the pool).
+func (q *QGraph) executor() (*Executor, error) {
+	if v := q.execPool.Get(); v != nil {
+		return v.(*Executor), nil
+	}
+	return NewExecutor(q)
+}
+
+// recycle returns an executor to the pool for the next frame.
+func (q *QGraph) recycle(e *Executor) { q.execPool.Put(e) }
+
 // Execute runs the quantized graph functionally on one FP32 CHW image and
 // returns the dequantized output tensor (probabilities if the graph ends in
 // softmax, logits otherwise). This is the bit-accurate reference for the DPU
-// simulator.
+// simulator. Scratch memory comes from a per-graph executor pool, so
+// repeated calls (evaluation loops, serving) allocate only the result.
 func (q *QGraph) Execute(img *tensor.Tensor) (*tensor.Tensor, error) {
-	acts, err := q.run(img)
+	ex, err := q.executor()
 	if err != nil {
 		return nil, err
 	}
-	outNode := q.byName[q.OutputName]
-	if outNode.Kind == graph.KindSoftmax {
-		in := acts[outNode.Inputs[0]]
-		logits := dequantizeToTensor(in.data, in.fp, [3]int{in.c, in.h, in.w})
-		s := tensor.SoftmaxChannels(logits.Reshape(1, in.c, in.h, in.w))
-		return s.Reshape(in.c, in.h, in.w), nil
-	}
-	out := acts[q.OutputName]
-	return dequantizeToTensor(out.data, out.fp, [3]int{out.c, out.h, out.w}), nil
+	defer q.recycle(ex)
+	return ex.Execute(img)
 }
 
 // ExecuteLabels runs the quantized graph and returns the per-pixel argmax
 // class map directly from the INT8 logits (argmax commutes with softmax),
 // exactly as the deployed DPU model returns INT8 masks.
 func (q *QGraph) ExecuteLabels(img *tensor.Tensor) ([]uint8, error) {
-	acts, err := q.run(img)
+	ex, err := q.executor()
 	if err != nil {
 		return nil, err
 	}
-	outNode := q.byName[q.OutputName]
-	src := outNode.Name
-	if outNode.Kind == graph.KindSoftmax {
-		src = outNode.Inputs[0]
-	}
-	a := acts[src]
-	return argmaxChannelsInt8(a.data, a.c, a.h*a.w), nil
-}
-
-func (q *QGraph) run(img *tensor.Tensor) (map[string]*activation, error) {
-	return q.runTap(img, nil)
+	defer q.recycle(ex)
+	return ex.ExecuteLabels(img)
 }
 
 // runTap executes the graph, invoking tap with every node's output
-// activation (used by FFQ's layer-wise output matching).
-func (q *QGraph) runTap(img *tensor.Tensor, tap func(*QNode, *activation)) (map[string]*activation, error) {
-	if img.Rank() != 3 || img.Shape[0] != q.InC || img.Shape[1] != q.InH || img.Shape[2] != q.InW {
-		return nil, fmt.Errorf("quant: input shape %v, want [%d %d %d]", img.Shape, q.InC, q.InH, q.InW)
+// activation (used by FFQ's layer-wise output matching). The activations
+// passed to tap alias pooled scratch buffers: they are valid only for the
+// duration of the callback.
+func (q *QGraph) runTap(img *tensor.Tensor, tap func(*QNode, *activation)) error {
+	ex, err := q.executor()
+	if err != nil {
+		return err
 	}
-	acts := make(map[string]*activation, len(q.Nodes))
-	for _, n := range q.Nodes {
-		var out *activation
-		switch n.Kind {
-		case graph.KindInput:
-			// Scale input slices by the factor stored in the xmodel
-			// (Section III-E).
-			data := make([]int8, img.Len())
-			QuantizeSlice(img.Data, q.InputFP, data)
-			out = &activation{data: data, fp: q.InputFP, c: q.InC, h: q.InH, w: q.InW}
-		case graph.KindConv:
-			in := acts[n.Inputs[0]]
-			oh, ow := n.OutShape[1], n.OutShape[2]
-			data := make([]int8, n.OutC*oh*ow)
-			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
-			convInt8(in.data, in.c, in.h, in.w, n.Weight, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, data, oh, ow)
-			out = &activation{data: data, fp: n.OutFP, c: n.OutC, h: oh, w: ow}
-		case graph.KindConvTranspose:
-			in := acts[n.Inputs[0]]
-			oh, ow := n.OutShape[1], n.OutShape[2]
-			data := make([]int8, n.OutC*oh*ow)
-			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
-			convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, data, oh, ow)
-			out = &activation{data: data, fp: n.OutFP, c: n.OutC, h: oh, w: ow}
-		case graph.KindMaxPool:
-			in := acts[n.Inputs[0]]
-			oh, ow := in.h/2, in.w/2
-			data := make([]int8, in.c*oh*ow)
-			maxPoolInt8(in.data, in.c, in.h, in.w, data)
-			if in.fp != n.OutFP {
-				requantInt8(data, RequantShift(in.fp, n.OutFP), data)
-			}
-			out = &activation{data: data, fp: n.OutFP, c: in.c, h: oh, w: ow}
-		case graph.KindReLU:
-			in := acts[n.Inputs[0]]
-			data := make([]int8, len(in.data))
-			reluInt8(in.data, RequantShift(in.fp, n.OutFP), data)
-			out = &activation{data: data, fp: n.OutFP, c: in.c, h: in.h, w: in.w}
-		case graph.KindConcat:
-			a := acts[n.Inputs[0]]
-			b := acts[n.Inputs[1]]
-			data := make([]int8, (a.c+b.c)*a.h*a.w)
-			requantInt8(a.data, RequantShift(a.fp, n.OutFP), data[:len(a.data)])
-			requantInt8(b.data, RequantShift(b.fp, n.OutFP), data[len(a.data):])
-			out = &activation{data: data, fp: n.OutFP, c: a.c + b.c, h: a.h, w: a.w}
-		case graph.KindSoftmax:
-			// Host-side op; keep the int8 logits flowing (Execute handles
-			// the float conversion at the boundary).
-			out = acts[n.Inputs[0]]
-		default:
-			return nil, fmt.Errorf("quant: unsupported node kind %s at %q", n.Kind, n.Name)
-		}
-		acts[n.Name] = out
-		if tap != nil {
-			tap(n, out)
-		}
-	}
-	return acts, nil
+	defer q.recycle(ex)
+	return ex.run(img, tap)
 }

@@ -5,131 +5,577 @@ import (
 	"seneca/internal/tensor"
 )
 
-// im2colInt8 lowers an int8 CHW image into the [C*KH*KW, OH*OW] column
-// matrix (int8), mirroring tensor.Im2Col.
-func im2colInt8(src []int8, c, h, w, k, stride, pad int, dst []int8, oh, ow int) {
-	rows := c * k * k
-	par.ForChunked(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			ci := r / (k * k)
-			rem := r % (k * k)
-			ky := rem / k
-			kx := rem % k
-			plane := src[ci*h*w : (ci+1)*h*w]
-			drow := dst[r*oh*ow : (r+1)*oh*ow]
-			for oy := 0; oy < oh; oy++ {
-				iy := oy*stride - pad + ky
-				base := oy * ow
-				if iy < 0 || iy >= h {
-					for ox := 0; ox < ow; ox++ {
-						drow[base+ox] = 0
+// ceilDivInt returns ⌈a/b⌉ for b > 0 and any sign of a.
+func ceilDivInt(a, b int) int {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}
+
+// floorDivInt returns ⌊a/b⌋ for b > 0 and any sign of a.
+func floorDivInt(a, b int) int {
+	q := a / b
+	if a%b < 0 {
+		q--
+	}
+	return q
+}
+
+// clearInt32 zeroes an accumulator tile (compiled to a memclr).
+func clearInt32(s []int32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// maxPackedCKK bounds C·K² for the dual-lane packed convolution kernel:
+// each 32-bit lane of a packed accumulator sums up to C·K² products of
+// biased bytes (≤ 255·255), and 32768·255² < 2³¹ guarantees a lane can
+// never carry into its neighbour. Larger reductions use the generic kernel.
+const maxPackedCKK = 1 << 15
+
+// packConvWeights lowers a convolution weight matrix [OutC, C·K²] into the
+// biased-unsigned dual-lane form used by convInt8: channel pair r stores
+// uint64(w[2r][p]+128) | uint64(w[2r+1][p]+128)<<32, so one 64-bit multiply
+// by a biased activation byte yields both channels' products (the scalar
+// integer multiplier retires one op per cycle regardless of width — packing
+// doubles its throughput). wCorr[oc] carries the zero-point correction
+// 128²·C·K² − 128·Σ_p(w[oc][p]+128): the exact signed accumulator is
+// recovered (mod 2³², matching int32 wraparound) as
+//
+//	acc = laneSum − rowSum[j] + wCorr[oc]
+//
+// where rowSum[j] = 128·Σ of pixel j's biased taps (see im2colInt8).
+// An odd trailing channel leaves its high lane zero; it is never read.
+func packConvWeights(weight []int8, outC, ckk int) ([]uint64, []int32) {
+	pairs := (outC + 1) / 2
+	packed := make([]uint64, pairs*ckk)
+	wCorr := make([]int32, outC)
+	for oc := 0; oc < outC; oc++ {
+		row := weight[oc*ckk : (oc+1)*ckk]
+		prow := packed[(oc/2)*ckk : (oc/2+1)*ckk]
+		shiftBits := uint(32 * (oc & 1))
+		var sum int32
+		for p, wv := range row {
+			b := int32(wv) + 128
+			prow[p] |= uint64(uint32(b)) << shiftBits
+			sum += b
+		}
+		wCorr[oc] = 16384*int32(ckk) - 128*sum
+	}
+	return packed, wCorr
+}
+
+// im2colInt8 lowers an int8 CHW image into the TRANSPOSED, biased-unsigned
+// column matrix colT[OH·OW, C·K²]: row j holds every kernel tap of output
+// pixel j, contiguously, stored as tap+128 (so padding taps are 128 — a
+// zero sample on the biased grid). rowSum[j] receives 128·Σ(row j), the
+// per-pixel half of the zero-point correction that recovers exact signed
+// accumulators from the packed GEMM. A reused (dirty) dst buffer is fully
+// overwritten.
+func im2colInt8(src []int8, c, h, w, k, stride, pad int, dst []uint8, rowSum []int32, oh, ow int) {
+	ckk := c * k * k
+	par.ForChunked(oh, func(lo, hi int) {
+		for oy := lo; oy < hi; oy++ {
+			iy0 := oy*stride - pad
+			// ky values whose source row iy0+ky lands inside [0, h).
+			kyLo := 0
+			if iy0 < 0 {
+				kyLo = -iy0
+			}
+			kyHi := k
+			if iy0+k > h {
+				kyHi = h - iy0
+			}
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				j := oy*ow + ox
+				row := dst[j*ckk : (j+1)*ckk]
+				// kx values whose source column ix0+kx lands inside [0, w).
+				kxLo := -ix0
+				if kxLo < 0 {
+					kxLo = 0
+				}
+				kxHi := w - ix0
+				if kxHi > k {
+					kxHi = k
+				}
+				if kxLo >= kxHi || kyLo >= kyHi {
+					for i := range row {
+						row[i] = 128
 					}
+					rowSum[j] = int32(ckk) * 128 * 128
 					continue
 				}
-				srow := plane[iy*w : (iy+1)*w]
-				for ox := 0; ox < ow; ox++ {
-					ix := ox*stride - pad + kx
-					if ix < 0 || ix >= w {
-						drow[base+ox] = 0
-					} else {
-						drow[base+ox] = srow[ix]
+				full := kxLo == 0 && kxHi == k
+				sum := 0
+				idx := 0
+				for ci := 0; ci < c; ci++ {
+					plane := src[ci*h*w : (ci+1)*h*w]
+					for ky := 0; ky < kyLo; ky++ {
+						for kx := 0; kx < k; kx++ {
+							row[idx+kx] = 128
+						}
+						idx += k
+					}
+					for ky := kyLo; ky < kyHi; ky++ {
+						base := (iy0+ky)*w + ix0
+						if full && k == 3 {
+							// Interior 3-tap row: the hot case for the
+							// 3×3 stride-1 stacks; unrolled to dodge the
+							// per-3-byte loop overhead.
+							v0 := int(plane[base]) + 128
+							v1 := int(plane[base+1]) + 128
+							v2 := int(plane[base+2]) + 128
+							row[idx] = uint8(v0)
+							row[idx+1] = uint8(v1)
+							row[idx+2] = uint8(v2)
+							sum += v0 + v1 + v2
+							idx += 3
+							continue
+						}
+						for kx := 0; kx < kxLo; kx++ {
+							row[idx+kx] = 128
+						}
+						for kx := kxLo; kx < kxHi; kx++ {
+							v := int(plane[base+kx]) + 128
+							row[idx+kx] = uint8(v)
+							sum += v
+						}
+						for kx := kxHi; kx < k; kx++ {
+							row[idx+kx] = 128
+						}
+						sum += 128 * (kxLo + k - kxHi)
+						idx += k
+					}
+					for ky := kyHi; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							row[idx+kx] = 128
+						}
+						idx += k
 					}
 				}
+				sum += 128 * k * (kyLo + k - kyHi) * c
+				rowSum[j] = int32(sum) * 128
 			}
 		}
 	})
+}
+
+// finalizeOne converts one int32 accumulator into int8, fusing the bias
+// add, the optional ReLU and the round-shift requantization — the DPU's
+// write-back path.
+func finalizeOne(acc, bias int32, relu bool, shift int) int8 {
+	v := int64(acc) + int64(bias)
+	if relu && v < 0 {
+		v = 0
+	}
+	return RoundShift(v, shift)
+}
+
+// finalizeInt8 applies finalizeOne across one channel's accumulator row.
+func finalizeInt8(acc []int32, bias int32, relu bool, shift int, out []int8) {
+	out = out[:len(acc)]
+	for j, a := range acc {
+		out[j] = finalizeOne(a, bias, relu, shift)
+	}
 }
 
 // convInt8 computes an INT8 convolution with int32 accumulation and DPU
 // round-shift requantization. bias is at fix position inFP+weightFP; shift
 // converts the accumulator to the output fix position. relu applies the
 // fused activation before saturation.
-func convInt8(src []int8, c, h, w int, weight []int8, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int) {
+//
+// The caller provides cols (≥ C·K²·OH·OW bytes) and rowSum (≥ OH·OW int32),
+// which receive the biased transposed im2col lowering, plus the node's
+// packed weights from packConvWeights (nil packed selects the generic
+// kernel, used when C·K² > maxPackedCKK). Each pixel's dot products run
+// eight output channels wide: one streaming read of the pixel's column row
+// feeds four dual-lane register accumulators, so every 64-bit multiply
+// retires two channels' products and the kernel performs no accumulator
+// loads or stores at all — the zero-point correction, bias, optional ReLU
+// and round-shift requantization are fused into the register write-back.
+// The result is bit-identical to the per-weight signed loop it replaces
+// (exact integer identity, including int32 wraparound).
+func convInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorr []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int, cols []uint8, rowSum []int32) {
 	ckk := c * k * k
-	cols := make([]int8, ckk*oh*ow)
-	im2colInt8(src, c, h, w, k, stride, pad, cols, oh, ow)
 	hw := oh * ow
-	par.For(outC, func(oc int) {
-		wrow := weight[oc*ckk : (oc+1)*ckk]
-		out := dst[oc*hw : (oc+1)*hw]
-		acc := make([]int32, hw)
-		for p, wv := range wrow {
-			if wv == 0 {
-				continue
-			}
-			w32 := int32(wv)
-			crow := cols[p*hw : (p+1)*hw]
-			for j, cv := range crow {
-				acc[j] += w32 * int32(cv)
-			}
+	colT := cols[:hw*ckk]
+	rowSum = rowSum[:hw]
+	im2colInt8(src, c, h, w, k, stride, pad, colT, rowSum, oh, ow)
+	if packed == nil {
+		convInt8Generic(colT, rowSum, weight, bias, outC, ckk, shift, relu, dst, hw)
+		return
+	}
+	pairs := (outC + 1) / 2
+	blocks := (pairs + 3) / 4
+	par.For(blocks, func(b int) {
+		r0 := 4 * b
+		if 2*(r0+4) <= outC {
+			convPacked8(colT, rowSum, packed, wCorr, bias, r0, ckk, shift, relu, dst, hw)
+			return
 		}
-		b := bias[oc]
-		for j, a := range acc {
-			v := int64(a) + int64(b)
-			if relu && v < 0 {
-				v = 0
-			}
-			out[j] = RoundShift(v, shift)
+		for r := r0; r < pairs; r++ {
+			convPacked2(colT, rowSum, packed, wCorr, bias, r, outC, ckk, shift, relu, dst, hw)
 		}
 	})
 }
 
+// convPacked8 is the hot GEMM tile: four dual-lane weight rows (eight
+// output channels, all valid) against every pixel's column row.
+func convPacked8(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, ckk, shift int, relu bool, dst []int8, hw int) {
+	pk0 := packed[(r0+0)*ckk : (r0+1)*ckk]
+	pk1 := packed[(r0+1)*ckk : (r0+2)*ckk]
+	pk2 := packed[(r0+2)*ckk : (r0+3)*ckk]
+	pk3 := packed[(r0+3)*ckk : (r0+4)*ckk]
+	oc0 := 2 * r0
+	d0 := dst[(oc0+0)*hw : (oc0+1)*hw]
+	d1 := dst[(oc0+1)*hw : (oc0+2)*hw]
+	d2 := dst[(oc0+2)*hw : (oc0+3)*hw]
+	d3 := dst[(oc0+3)*hw : (oc0+4)*hw]
+	d4 := dst[(oc0+4)*hw : (oc0+5)*hw]
+	d5 := dst[(oc0+5)*hw : (oc0+6)*hw]
+	d6 := dst[(oc0+6)*hw : (oc0+7)*hw]
+	d7 := dst[(oc0+7)*hw : (oc0+8)*hw]
+	w0, w1, w2, w3 := wCorr[oc0], wCorr[oc0+1], wCorr[oc0+2], wCorr[oc0+3]
+	w4, w5, w6, w7 := wCorr[oc0+4], wCorr[oc0+5], wCorr[oc0+6], wCorr[oc0+7]
+	b0, b1, b2, b3 := bias[oc0], bias[oc0+1], bias[oc0+2], bias[oc0+3]
+	b4, b5, b6, b7 := bias[oc0+4], bias[oc0+5], bias[oc0+6], bias[oc0+7]
+	for j := 0; j < hw; j++ {
+		ct := colT[j*ckk : (j+1)*ckk]
+		var a0, a1, a2, a3 uint64
+		for p, cv := range ct {
+			v := uint64(cv)
+			a0 += pk0[p] * v
+			a1 += pk1[p] * v
+			a2 += pk2[p] * v
+			a3 += pk3[p] * v
+		}
+		rs := rowSum[j]
+		d0[j] = finalizeOne(int32(uint32(a0))-rs+w0, b0, relu, shift)
+		d1[j] = finalizeOne(int32(uint32(a0>>32))-rs+w1, b1, relu, shift)
+		d2[j] = finalizeOne(int32(uint32(a1))-rs+w2, b2, relu, shift)
+		d3[j] = finalizeOne(int32(uint32(a1>>32))-rs+w3, b3, relu, shift)
+		d4[j] = finalizeOne(int32(uint32(a2))-rs+w4, b4, relu, shift)
+		d5[j] = finalizeOne(int32(uint32(a2>>32))-rs+w5, b5, relu, shift)
+		d6[j] = finalizeOne(int32(uint32(a3))-rs+w6, b6, relu, shift)
+		d7[j] = finalizeOne(int32(uint32(a3>>32))-rs+w7, b7, relu, shift)
+	}
+}
+
+// convPacked2 handles one trailing weight pair; the high lane is skipped
+// when OutC is odd (its packed weights are zero and never read back).
+func convPacked2(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r, outC, ckk, shift int, relu bool, dst []int8, hw int) {
+	pk := packed[r*ckk : (r+1)*ckk]
+	oc0 := 2 * r
+	d0 := dst[oc0*hw : (oc0+1)*hw]
+	w0, b0 := wCorr[oc0], bias[oc0]
+	var d1 []int8
+	var w1, b1 int32
+	hasHi := oc0+1 < outC
+	if hasHi {
+		d1 = dst[(oc0+1)*hw : (oc0+2)*hw]
+		w1, b1 = wCorr[oc0+1], bias[oc0+1]
+	}
+	for j := 0; j < hw; j++ {
+		ct := colT[j*ckk : (j+1)*ckk]
+		var a uint64
+		for p, cv := range ct {
+			a += pk[p] * uint64(cv)
+		}
+		rs := rowSum[j]
+		d0[j] = finalizeOne(int32(uint32(a))-rs+w0, b0, relu, shift)
+		if hasHi {
+			d1[j] = finalizeOne(int32(uint32(a>>32))-rs+w1, b1, relu, shift)
+		}
+	}
+}
+
+// convInt8Generic is the unpacked fallback for reductions too deep for
+// lane-safe packing. It consumes the same biased column matrix, unbiasing
+// inline; accumulation order matches the packed kernels tap for tap.
+func convInt8Generic(colT []uint8, rowSum []int32, weight []int8, bias []int32, outC, ckk, shift int, relu bool, dst []int8, hw int) {
+	_ = rowSum
+	par.For(outC, func(oc int) {
+		wr := weight[oc*ckk : (oc+1)*ckk]
+		d := dst[oc*hw : (oc+1)*hw]
+		b := bias[oc]
+		for j := 0; j < hw; j++ {
+			ct := colT[j*ckk : (j+1)*ckk]
+			var s int32
+			for p, cv := range ct {
+				s += int32(wr[p]) * (int32(cv) - 128)
+			}
+			d[j] = finalizeOne(s, b, relu, shift)
+		}
+	})
+}
+
+// packDconvWeights lowers a transpose-convolution weight tensor (layout
+// [InC, OutC, K, K], so column row r reduces over InC with stride OutC·K²)
+// into the same biased dual-lane form as packConvWeights: row pair r stores
+// uint64(W[ic][2r]+128) | uint64(W[ic][2r+1]+128)<<32 indexed by ic, and
+// wCorr[r] = 128²·InC − 128·Σ_ic(W[ic][r]+128).
+func packDconvWeights(weight []int8, c, ckk int) ([]uint64, []int32) {
+	pairs := (ckk + 1) / 2
+	packed := make([]uint64, pairs*c)
+	wCorr := make([]int32, ckk)
+	for r := 0; r < ckk; r++ {
+		prow := packed[(r/2)*c : (r/2+1)*c]
+		shiftBits := uint(32 * (r & 1))
+		var sum int32
+		for ic := 0; ic < c; ic++ {
+			b := int32(weight[ic*ckk+r]) + 128
+			prow[ic] |= uint64(uint32(b)) << shiftBits
+			sum += b
+		}
+		wCorr[r] = 16384*int32(c) - 128*sum
+	}
+	return packed, wCorr
+}
+
+// transposeBiased lowers an int8 CHW image into biased HWC pixel rows
+// (xT[j, c] = x[c, j]+128) with colSum[j] = 128·Σ(row j) — the per-pixel
+// zero-point correction for the packed transpose-convolution GEMM.
+func transposeBiased(src []int8, c, hw int, xT []uint8, colSum []int32) {
+	par.ForChunked(hw, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := xT[j*c : (j+1)*c]
+			sum := 0
+			for ic := range row {
+				v := int(src[ic*hw+j]) + 128
+				row[ic] = uint8(v)
+				sum += v
+			}
+			colSum[j] = int32(sum) * 128
+		}
+	})
+}
+
+// dconvPacked8 computes eight column rows (four dual-lane weight pairs, all
+// valid) of the transpose-convolution GEMM against every input pixel's
+// biased channel row, writing exact int32 columns.
+func dconvPacked8(xT []uint8, colSum []int32, packed []uint64, wCorr []int32, r0, c int, cols []int32, hw int) {
+	pk0 := packed[(r0+0)*c : (r0+1)*c]
+	pk1 := packed[(r0+1)*c : (r0+2)*c]
+	pk2 := packed[(r0+2)*c : (r0+3)*c]
+	pk3 := packed[(r0+3)*c : (r0+4)*c]
+	row0 := 2 * r0
+	c0 := cols[(row0+0)*hw : (row0+1)*hw]
+	c1 := cols[(row0+1)*hw : (row0+2)*hw]
+	c2 := cols[(row0+2)*hw : (row0+3)*hw]
+	c3 := cols[(row0+3)*hw : (row0+4)*hw]
+	c4 := cols[(row0+4)*hw : (row0+5)*hw]
+	c5 := cols[(row0+5)*hw : (row0+6)*hw]
+	c6 := cols[(row0+6)*hw : (row0+7)*hw]
+	c7 := cols[(row0+7)*hw : (row0+8)*hw]
+	w0, w1, w2, w3 := wCorr[row0], wCorr[row0+1], wCorr[row0+2], wCorr[row0+3]
+	w4, w5, w6, w7 := wCorr[row0+4], wCorr[row0+5], wCorr[row0+6], wCorr[row0+7]
+	for j := 0; j < hw; j++ {
+		xr := xT[j*c : (j+1)*c]
+		var a0, a1, a2, a3 uint64
+		for p, xv := range xr {
+			v := uint64(xv)
+			a0 += pk0[p] * v
+			a1 += pk1[p] * v
+			a2 += pk2[p] * v
+			a3 += pk3[p] * v
+		}
+		cs := colSum[j]
+		c0[j] = int32(uint32(a0)) - cs + w0
+		c1[j] = int32(uint32(a0>>32)) - cs + w1
+		c2[j] = int32(uint32(a1)) - cs + w2
+		c3[j] = int32(uint32(a1>>32)) - cs + w3
+		c4[j] = int32(uint32(a2)) - cs + w4
+		c5[j] = int32(uint32(a2>>32)) - cs + w5
+		c6[j] = int32(uint32(a3)) - cs + w6
+		c7[j] = int32(uint32(a3>>32)) - cs + w7
+	}
+}
+
+// dconvPacked2 handles one trailing column-row pair; the high lane is
+// skipped when OutC·K² is odd.
+func dconvPacked2(xT []uint8, colSum []int32, packed []uint64, wCorr []int32, r, ckk, c int, cols []int32, hw int) {
+	pk := packed[r*c : (r+1)*c]
+	row0 := 2 * r
+	c0 := cols[row0*hw : (row0+1)*hw]
+	w0 := wCorr[row0]
+	var c1 []int32
+	var w1 int32
+	hasHi := row0+1 < ckk
+	if hasHi {
+		c1 = cols[(row0+1)*hw : (row0+2)*hw]
+		w1 = wCorr[row0+1]
+	}
+	for j := 0; j < hw; j++ {
+		xr := xT[j*c : (j+1)*c]
+		var a uint64
+		for p, xv := range xr {
+			a += pk[p] * uint64(xv)
+		}
+		cs := colSum[j]
+		c0[j] = int32(uint32(a)) - cs + w0
+		if hasHi {
+			c1[j] = int32(uint32(a>>32)) - cs + w1
+		}
+	}
+}
+
 // convTransposeInt8 computes an INT8 transpose convolution: cols = Wᵀ·x in
-// int32, then a col2im scatter, bias add, optional ReLU and requantization.
-// weight layout is [InC, OutC, K, K] as in the FP32 graph.
-func convTransposeInt8(src []int8, c, h, w int, weight []int8, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int) {
+// int32, then a col2im scatter, and a fused bias+ReLU+requantization
+// finalization. weight layout is [InC, OutC, K, K] as in the FP32 graph.
+//
+// The caller provides cols32 (≥ OutC·K²·H·W int32) for the column matrix,
+// acc (≥ OutC·OH·OW int32) for the scatter accumulators, and — for the
+// packed fast path — xT (≥ C·H·W bytes) and colSum (≥ H·W int32) for the
+// biased HWC transpose of the input. With packed weights from
+// packDconvWeights the column GEMM runs eight rows per 64-bit multiply
+// stream exactly like convInt8; nil packed selects the tiled generic GEMM
+// (used when InC > maxPackedCKK). The scatter hoists the boundary clipping
+// out of the pixel loops. Both GEMMs produce identical int32 columns.
+func convTransposeInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorrT []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int, xT []uint8, colSum []int32, cols32 []int32, acc []int32) {
 	ckk := outC * k * k
 	hw := h * w
-	cols := make([]int32, ckk*hw)
+	cols := cols32[:ckk*hw]
 	// cols[r, j] = Σ_ic W[ic, r] · x[ic, j]
-	par.ForChunked(ckk, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			crow := cols[r*hw : (r+1)*hw]
-			for ic := 0; ic < c; ic++ {
-				wv := weight[ic*ckk+r]
-				if wv == 0 {
-					continue
-				}
-				w32 := int32(wv)
-				xrow := src[ic*hw : (ic+1)*hw]
+	if packed != nil {
+		xT = xT[:hw*c]
+		colSum = colSum[:hw]
+		transposeBiased(src, c, hw, xT, colSum)
+		pairs := (ckk + 1) / 2
+		par.For((pairs+3)/4, func(b int) {
+			r0 := 4 * b
+			if 2*(r0+4) <= ckk {
+				dconvPacked8(xT, colSum, packed, wCorrT, r0, c, cols, hw)
+				return
+			}
+			for r := r0; r < pairs; r++ {
+				dconvPacked2(xT, colSum, packed, wCorrT, r, ckk, c, cols, hw)
+			}
+		})
+		scatterFinalize(cols, bias, outC, k, stride, pad, shift, relu, dst, h, w, oh, ow, acc)
+		return
+	}
+	blocks := (ckk + 3) / 4
+	par.For(blocks, func(b int) {
+		r0 := 4 * b
+		nb := ckk - r0
+		if nb > 4 {
+			nb = 4
+		}
+		tile := cols[r0*hw : (r0+nb)*hw]
+		clearInt32(tile)
+		a0 := tile[0*hw : 1*hw]
+		a1, a2, a3 := a0, a0, a0
+		if nb > 1 {
+			a1 = tile[1*hw : 2*hw]
+		}
+		if nb > 2 {
+			a2 = tile[2*hw : 3*hw]
+		}
+		if nb > 3 {
+			a3 = tile[3*hw : 4*hw]
+		}
+		var w0, w1, w2, w3 int32
+		for ic := 0; ic < c; ic++ {
+			wrow := weight[ic*ckk:]
+			w0 = int32(wrow[r0])
+			w1, w2, w3 = 0, 0, 0
+			if nb > 1 {
+				w1 = int32(wrow[r0+1])
+			}
+			if nb > 2 {
+				w2 = int32(wrow[r0+2])
+			}
+			if nb > 3 {
+				w3 = int32(wrow[r0+3])
+			}
+			if w0|w1|w2|w3 == 0 {
+				continue
+			}
+			xrow := src[ic*hw : (ic+1)*hw]
+			switch nb {
+			case 4:
+				b0, b1, b2, b3 := a0[:len(xrow)], a1[:len(xrow)], a2[:len(xrow)], a3[:len(xrow)]
 				for j, xv := range xrow {
-					crow[j] += w32 * int32(xv)
+					v := int32(xv)
+					b0[j] += w0 * v
+					b1[j] += w1 * v
+					b2[j] += w2 * v
+					b3[j] += w3 * v
+				}
+			case 3:
+				b0, b1, b2 := a0[:len(xrow)], a1[:len(xrow)], a2[:len(xrow)]
+				for j, xv := range xrow {
+					v := int32(xv)
+					b0[j] += w0 * v
+					b1[j] += w1 * v
+					b2[j] += w2 * v
+				}
+			case 2:
+				b0, b1 := a0[:len(xrow)], a1[:len(xrow)]
+				for j, xv := range xrow {
+					v := int32(xv)
+					b0[j] += w0 * v
+					b1[j] += w1 * v
+				}
+			default:
+				b0 := a0[:len(xrow)]
+				for j, xv := range xrow {
+					b0[j] += w0 * int32(xv)
 				}
 			}
 		}
 	})
-	// Scatter into the (larger) output image, then finalize.
+	scatterFinalize(cols, bias, outC, k, stride, pad, shift, relu, dst, h, w, oh, ow, acc)
+}
+
+// scatterFinalize distributes the transpose-convolution column matrix into
+// the (larger) output image and applies the fused bias+ReLU+requantization
+// write-back.
+func scatterFinalize(cols []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, h, w, oh, ow int, acc []int32) {
+	hw := h * w
 	ohw := oh * ow
 	par.For(outC, func(oc int) {
-		acc := make([]int32, ohw)
+		tile := acc[oc*ohw : (oc+1)*ohw]
+		clearInt32(tile)
 		for ky := 0; ky < k; ky++ {
+			// iy values whose target row py = iy*stride - pad + ky lands
+			// inside [0, oh).
+			iyLo := ceilDivInt(pad-ky, stride)
+			if iyLo < 0 {
+				iyLo = 0
+			}
+			iyHi := floorDivInt(oh-1+pad-ky, stride) + 1
+			if iyHi > h {
+				iyHi = h
+			}
 			for kx := 0; kx < k; kx++ {
 				r := (oc*k+ky)*k + kx
 				crow := cols[r*hw : (r+1)*hw]
-				for iy := 0; iy < h; iy++ {
+				ixLo := ceilDivInt(pad-kx, stride)
+				if ixLo < 0 {
+					ixLo = 0
+				}
+				ixHi := floorDivInt(ow-1+pad-kx, stride) + 1
+				if ixHi > w {
+					ixHi = w
+				}
+				for iy := iyLo; iy < iyHi; iy++ {
 					py := iy*stride - pad + ky
-					if py < 0 || py >= oh {
-						continue
-					}
-					for ix := 0; ix < w; ix++ {
-						px := ix*stride - pad + kx
-						if px < 0 || px >= ow {
-							continue
-						}
-						acc[py*ow+px] += crow[iy*w+ix]
+					srow := crow[iy*w : (iy+1)*w]
+					drow := tile[py*ow : (py+1)*ow]
+					px := ixLo*stride - pad + kx
+					for ix := ixLo; ix < ixHi; ix++ {
+						drow[px] += srow[ix]
+						px += stride
 					}
 				}
 			}
 		}
-		b := bias[oc]
-		out := dst[oc*ohw : (oc+1)*ohw]
-		for j, a := range acc {
-			v := int64(a) + int64(b)
-			if relu && v < 0 {
-				v = 0
-			}
-			out[j] = RoundShift(v, shift)
-		}
+		finalizeInt8(tile, bias[oc], relu, shift, dst[oc*ohw:(oc+1)*ohw])
 	})
 }
 

@@ -52,15 +52,54 @@ func TestConvInt8MatchesReference(t *testing.T) {
 	}
 	bias := []int32{100, -50, 0, 7}
 	oh, ow := h, w
+	packed, wCorr := packConvWeights(weight, outC, c*k*k)
 	for _, relu := range []bool{false, true} {
 		for _, shift := range []int{0, 3, 7} {
 			want := refConvInt8(src, c, h, w, weight, bias, outC, k, stride, pad, shift, relu, oh, ow)
-			got := make([]int8, outC*oh*ow)
-			convInt8(src, c, h, w, weight, bias, outC, k, stride, pad, shift, relu, got, oh, ow)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("relu=%v shift=%d: pixel %d: %d vs %d", relu, shift, i, got[i], want[i])
+			cols := make([]uint8, c*k*k*oh*ow)
+			rowSum := make([]int32, oh*ow)
+			// Packed dual-lane kernel and the generic fallback must both
+			// reproduce the reference bit for bit.
+			for _, pk := range [][]uint64{packed, nil} {
+				got := make([]int8, outC*oh*ow)
+				convInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, shift, relu, got, oh, ow, cols, rowSum)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("relu=%v shift=%d packed=%v: pixel %d: %d vs %d", relu, shift, pk != nil, i, got[i], want[i])
+					}
 				}
+			}
+		}
+	}
+}
+
+// TestConvInt8OddChannels exercises the trailing-pair path where the high
+// lane of the last packed pair is a phantom channel.
+func TestConvInt8OddChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, outC := range []int{1, 2, 3, 5, 7, 9} {
+		c, h, w, k, stride, pad := 2, 5, 5, 3, 1, 1
+		src := make([]int8, c*h*w)
+		for i := range src {
+			src[i] = int8(rng.Intn(256) - 128)
+		}
+		weight := make([]int8, outC*c*k*k)
+		for i := range weight {
+			weight[i] = int8(rng.Intn(256) - 128)
+		}
+		bias := make([]int32, outC)
+		for i := range bias {
+			bias[i] = int32(rng.Intn(201) - 100)
+		}
+		oh, ow := h, w
+		want := refConvInt8(src, c, h, w, weight, bias, outC, k, stride, pad, 5, true, oh, ow)
+		packed, wCorr := packConvWeights(weight, outC, c*k*k)
+		got := make([]int8, outC*oh*ow)
+		convInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 5, true, got, oh, ow,
+			make([]uint8, c*k*k*oh*ow), make([]int32, oh*ow))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("outC=%d: pixel %d: %d vs %d", outC, i, got[i], want[i])
 			}
 		}
 	}
@@ -81,7 +120,9 @@ func TestConvTransposeInt8IsAdjointShape(t *testing.T) {
 	}
 	bias := make([]int32, outC)
 	dst := make([]int8, outC*oh*ow)
-	convTransposeInt8(src, c, h, w, weight, bias, outC, k, stride, pad, 4, false, dst, oh, ow)
+	packed, wCorr := packDconvWeights(weight, c, outC*k*k)
+	convTransposeInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 4, false, dst, oh, ow,
+		make([]uint8, c*h*w), make([]int32, h*w), make([]int32, outC*k*k*h*w), make([]int32, roundUp4(outC)*oh*ow))
 	var nonzero int
 	for _, v := range dst {
 		if v != 0 {
@@ -128,8 +169,19 @@ func TestConvTransposeInt8MatchesFloat(t *testing.T) {
 			}
 		}
 	}
-	dst := make([]int8, outC*oh*ow)
-	convTransposeInt8(src, c, h, w, weight, bias, outC, k, stride, pad, 0, false, dst, oh, ow)
+	packed, wCorr := packDconvWeights(weight, c, outC*k*k)
+	// Packed dual-lane GEMM and the generic tiled GEMM must agree with the
+	// exact reference.
+	for _, pk := range [][]uint64{packed, nil} {
+		dst := make([]int8, outC*oh*ow)
+		convTransposeInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, 0, false, dst, oh, ow,
+			make([]uint8, c*h*w), make([]int32, h*w), make([]int32, outC*k*k*h*w), make([]int32, roundUp4(outC)*oh*ow))
+		checkTransposeAgainstRef(t, dst, ref, bias, outC, oh, ow, pk != nil)
+	}
+}
+
+func checkTransposeAgainstRef(t *testing.T, dst []int8, ref []float64, bias []int32, outC, oh, ow int, packed bool) {
+	t.Helper()
 	for i := range dst {
 		want := ref[i] + float64(bias[i/(oh*ow)])
 		if want > 127 {
@@ -139,7 +191,7 @@ func TestConvTransposeInt8MatchesFloat(t *testing.T) {
 			want = -128
 		}
 		if math.Abs(float64(dst[i])-want) > 0.5 {
-			t.Fatalf("pixel %d: %d vs %v", i, dst[i], want)
+			t.Fatalf("packed=%v: pixel %d: %d vs %v", packed, i, dst[i], want)
 		}
 	}
 }
@@ -204,14 +256,28 @@ func TestArgmaxChannelsInt8(t *testing.T) {
 
 func TestIm2ColInt8ZeroPadding(t *testing.T) {
 	src := []int8{1, 2, 3, 4} // 1×2×2
-	dst := make([]int8, 9*4)
-	im2colInt8(src, 1, 2, 2, 3, 1, 1, dst, 2, 2)
-	// Center tap (row 4) must be the original image.
-	if dst[4*4] != 1 || dst[4*4+3] != 4 {
-		t.Fatalf("center taps wrong: %v", dst[4*4:4*4+4])
+	// Transposed biased layout: one row of C·K² taps per output pixel,
+	// each stored as tap+128 (padding = 128).
+	dst := make([]uint8, 4*9)
+	rowSum := make([]int32, 4)
+	im2colInt8(src, 1, 2, 2, 3, 1, 1, dst, rowSum, 2, 2)
+	// Each pixel's center tap (index 4 within its row) is the pixel itself.
+	for j, want := range []uint8{129, 130, 131, 132} {
+		if dst[j*9+4] != want {
+			t.Fatalf("pixel %d center tap = %d, want %d (row %v)", j, dst[j*9+4], want, dst[j*9:(j+1)*9])
+		}
 	}
-	// Top-left tap of the first output pixel is padding.
-	if dst[0] != 0 {
-		t.Fatalf("padding not zero: %d", dst[0])
+	// Pixel 0's row: taps outside the 2×2 image are the biased zero 128,
+	// the in-bounds 2×2 window lands at indices 4,5,7,8.
+	wantRow := []uint8{128, 128, 128, 128, 129, 130, 128, 131, 132}
+	sum := int32(0)
+	for i, want := range wantRow {
+		if dst[i] != want {
+			t.Fatalf("pixel 0 row = %v, want %v", dst[:9], wantRow)
+		}
+		sum += int32(want)
+	}
+	if rowSum[0] != 128*sum {
+		t.Fatalf("rowSum[0] = %d, want %d", rowSum[0], 128*sum)
 	}
 }

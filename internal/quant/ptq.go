@@ -117,7 +117,7 @@ func biasCorrect(q *QGraph, folded *graph.Graph, images []*tensor.Tensor) error 
 		if err != nil {
 			return err
 		}
-		_, err = q.runTap(img, func(n *QNode, a *activation) {
+		err = q.runTap(img, func(n *QNode, a *activation) {
 			if !wantNode(n.Name) {
 				return
 			}

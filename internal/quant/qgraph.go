@@ -2,6 +2,7 @@ package quant
 
 import (
 	"fmt"
+	"sync"
 
 	"seneca/internal/graph"
 	"seneca/internal/obs"
@@ -33,6 +34,68 @@ type QNode struct {
 
 	// OutShape is the single-image CHW output geometry.
 	OutShape [3]int
+
+	// packOnce guards the lazy biased-weight packing used by the fast INT8
+	// convolution kernel (packConvWeights). Weight is immutable once the
+	// graph is quantized (FFQ bias correction touches Bias only), so the
+	// packed form is computed once and shared read-only by every pooled
+	// executor running this graph, including vart's concurrent threads.
+	packOnce sync.Once
+	packedW  []uint64
+	wCorr    []int32
+}
+
+// Clone returns a copy of the node with a fresh (unstarted) packed-weight
+// cache. Parameter slices are shared with the original; callers that mutate
+// configuration on the copy (e.g. the compiler's ReLU-fusion pass) must not
+// also mutate Weight. QNode contains a sync.Once, so it cannot be copied by
+// plain assignment.
+func (n *QNode) Clone() *QNode {
+	return &QNode{
+		Name:      n.Name,
+		Kind:      n.Kind,
+		Inputs:    n.Inputs,
+		Kernel:    n.Kernel,
+		Stride:    n.Stride,
+		Pad:       n.Pad,
+		OutPad:    n.OutPad,
+		InC:       n.InC,
+		OutC:      n.OutC,
+		Weight:    n.Weight,
+		WeightFP:  n.WeightFP,
+		Bias:      n.Bias,
+		InFP:      n.InFP,
+		OutFP:     n.OutFP,
+		FusedReLU: n.FusedReLU,
+		OutShape:  n.OutShape,
+	}
+}
+
+// convPacked returns the dual-lane packed weight matrix and per-channel
+// zero-point corrections for a convolution node, packing them on first use.
+// It returns nil slices when C·K² exceeds maxPackedCKK (per-lane sums could
+// carry into the neighbouring lane); callers then use the generic kernel.
+func (n *QNode) convPacked() ([]uint64, []int32) {
+	n.packOnce.Do(func() {
+		ckk := n.InC * n.Kernel * n.Kernel
+		if ckk <= maxPackedCKK {
+			n.packedW, n.wCorr = packConvWeights(n.Weight, n.OutC, ckk)
+		}
+	})
+	return n.packedW, n.wCorr
+}
+
+// dconvPacked is convPacked's transpose-convolution counterpart: pairs of
+// column rows (OutC·K² of them) packed over the InC reduction axis. A node
+// is either Conv or ConvTranspose, so the two packings share the guard and
+// cache fields without conflict.
+func (n *QNode) dconvPacked() ([]uint64, []int32) {
+	n.packOnce.Do(func() {
+		if n.InC <= maxPackedCKK {
+			n.packedW, n.wCorr = packDconvWeights(n.Weight, n.InC, n.OutC*n.Kernel*n.Kernel)
+		}
+	})
+	return n.packedW, n.wCorr
 }
 
 // QGraph is a fully-quantized inference graph — the in-memory form of the
@@ -51,6 +114,12 @@ type QGraph struct {
 	InputFP FixPos
 	// NumClasses is the channel count of the logit output.
 	NumClasses int
+
+	// execPool recycles scratch arenas (Executor) across Execute /
+	// ExecuteLabels calls; concurrent callers each get their own without
+	// locking. Weights and biases are read at execution time, so later
+	// mutation (e.g. FFQ bias correction) is picked up by pooled executors.
+	execPool sync.Pool
 }
 
 // Node returns the named node, or nil.

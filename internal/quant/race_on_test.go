@@ -1,0 +1,9 @@
+//go:build race
+
+package quant
+
+// raceEnabled reports whether the race detector is compiled in. The
+// steady-state allocation test skips under -race: the detector's
+// instrumentation allocates on its own, so AllocsPerRun counts are
+// meaningless there.
+const raceEnabled = true

@@ -12,7 +12,12 @@
 //	                    MaxDelay, whichever comes first
 //	runner pool         batches dispatch to the least-loaded vart.Runner;
 //	                    each runner executes functionally (bit-accurate
-//	                    INT8 masks) and accumulates simulated FPS/W
+//	                    INT8 masks) and accumulates simulated FPS/W.
+//	                    Frames draw scratch arenas from the device's
+//	                    executor pool and the INT8 kernels respect
+//	                    internal/par's global worker budget, so concurrent
+//	                    batches neither allocate per layer nor
+//	                    oversubscribe the host cores
 //
 // Every request carries a context.Context: deadlines expire work that is
 // still queued, and Shutdown drains everything already admitted without

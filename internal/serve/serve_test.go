@@ -228,8 +228,21 @@ func TestNewValidates(t *testing.T) {
 }
 
 func TestLeastLoadedSpreadsAcrossRunners(t *testing.T) {
-	s, _, _, imgs := newTestServer(t, Config{
+	// The 32×32 test geometry executes in microseconds on the arena fast
+	// path, so a single runner can drain the queue before dispatch ever
+	// sees overlapping load. Use a larger geometry to keep each inference
+	// busy long enough that concurrent batches genuinely overlap.
+	dev, prog, imgs := testProgram(t, 128, 8)
+	s, err := New(dev, prog, Config{
 		Runners: 3, Threads: 1, MaxBatch: 1, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
 	})
 	const n = 30
 	var wg sync.WaitGroup

@@ -173,7 +173,11 @@ func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) (Resul
 
 // Run executes the images functionally with real asynchronous worker
 // threads (bit-accurate INT8 masks, order-preserving) and returns the masks
-// together with the simulated timing for the same workload.
+// together with the simulated timing for the same workload. Each worker
+// takes its own scratch arena from the device's executor pool, and the INT8
+// kernels' inner parallel loops degrade to serial under this outer
+// parallelism via internal/par's worker budget, so N submission threads
+// never oversubscribe the host cores.
 func (r *Runner) Run(images []*tensor.Tensor, seed int64) ([][]uint8, Result, error) {
 	if r.Threads < 1 {
 		return nil, Result{}, ErrNoThreads

@@ -232,6 +232,43 @@ func TestSweepThreadsDoesNotMutateRunner(t *testing.T) {
 	}
 }
 
+// TestConcurrentExecuteMasksIdentical hammers the device's pooled scratch
+// arenas directly: many goroutines execute different images simultaneously
+// and every mask must equal the sequential reference. A cross-contaminated
+// arena (two frames sharing activation buffers) would corrupt the masks.
+func TestConcurrentExecuteMasksIdentical(t *testing.T) {
+	r, imgs := testRunner(t, 8)
+	want := make([][]uint8, len(imgs))
+	for i, img := range imgs {
+		m, err := r.Device.Execute(r.Program, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for i := range imgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := r.Device.Execute(r.Program, imgs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range want[i] {
+					if got[j] != want[i][j] {
+						t.Errorf("concurrent mask %d differs at pixel %d", i, j)
+						return
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+}
+
 // TestConcurrentRunAndSweep exercises a Runner shared by server workers:
 // functional Run calls racing SweepThreads must be data-race-free (run
 // under -race) and must leave the receiver untouched.

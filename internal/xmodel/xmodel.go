@@ -192,7 +192,7 @@ func fuseActivations(q *quant.QGraph) (*quant.QGraph, error) {
 			}
 			// Standalone ReLU (no fusable producer): keep it.
 		}
-		c := *n
+		c := n.Clone()
 		c.Inputs = make([]string, len(n.Inputs))
 		for i, in := range n.Inputs {
 			m, ok := rename[in]
@@ -205,7 +205,7 @@ func fuseActivations(q *quant.QGraph) (*quant.QGraph, error) {
 			c.Inputs = nil
 			out.InputName = c.Name
 		}
-		add(&c)
+		add(c)
 		rename[n.Name] = c.Name
 	}
 	mapped, ok := rename[q.OutputName]
