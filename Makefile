@@ -4,8 +4,8 @@ GO ?= go
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR3.json
-BENCH_BASELINE   = BENCH_PR2.json
+BENCH_SNAPSHOT   = BENCH_PR4.json
+BENCH_BASELINE   = BENCH_PR3.json
 
 .PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz
 

@@ -1,0 +1,160 @@
+// Command seneca-study serves both inference tiers from one listener: the
+// synchronous slice API (internal/serve) and the asynchronous whole-volume
+// study pipeline (internal/study) backed by a durable on-disk job store.
+// Volume jobs survive restarts — a job interrupted by a crash or redeploy
+// resumes at its last completed stage when the process comes back up.
+//
+// Usage:
+//
+//	seneca-study -xmodel 1m.xmodel -store /var/lib/seneca/jobs -addr :8080
+//
+// With no -xmodel it serves a small built-in demo network (shape-only
+// quantized, untrained weights) so the volume pipeline can be exercised
+// without running the training pipeline first:
+//
+//	seneca-study -store ./jobs -addr :8080 -size 64
+//
+// Endpoints:
+//
+//	POST /v1/segment            synchronous single-slice inference
+//	POST /v1/volumes            submit a NIfTI CT volume (async, 202 + id)
+//	GET  /v1/volumes            list volume jobs
+//	GET  /v1/volumes/{id}       job status / progress / volumetric report
+//	GET  /v1/volumes/{id}/mask  download the segmented NIfTI label volume
+//	GET  /healthz, /statz, /metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/obs"
+	"seneca/internal/quant"
+	"seneca/internal/serve"
+	"seneca/internal/study"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+func main() {
+	xmodelPath := flag.String("xmodel", "", "compiled xmodel (empty: built-in demo network)")
+	store := flag.String("store", "seneca-jobs", "durable job store directory")
+	addr := flag.String("addr", ":8080", "listen address")
+	size := flag.Int("size", 64, "demo network input size (only without -xmodel)")
+	runners := flag.Int("runners", 1, "runner pool size")
+	threads := flag.Int("threads", 4, "host threads per runner (paper deploys 4)")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch coalescing window")
+	queue := flag.Int("queue", 64, "slice admission queue depth")
+	workers := flag.Int("workers", 2, "concurrent volume jobs")
+	sliceParallel := flag.Int("slice-parallel", 4, "in-flight slices per volume job")
+	jobQueue := flag.Int("job-queue", 64, "volume job queue depth")
+	attempts := flag.Int("attempts", 3, "per-stage attempt budget")
+	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	lg := obs.SetupDefault("seneca-study", obs.ParseLevel(*logLevel))
+
+	var prog *xmodel.Program
+	var err error
+	if *xmodelPath != "" {
+		prog, err = xmodel.ReadFile(*xmodelPath)
+		if err != nil {
+			lg.Error("loading xmodel", "path", *xmodelPath, "err", err)
+			os.Exit(1)
+		}
+	} else {
+		prog, err = demoProgram(*size)
+		if err != nil {
+			lg.Error("building demo network", "err", err)
+			os.Exit(1)
+		}
+		lg.Info("no -xmodel given: serving built-in demo network (untrained weights)", "model", prog.Name)
+	}
+
+	dev := dpu.New(dpu.ZCU104B4096())
+	srv, err := serve.New(dev, prog, serve.Config{
+		Runners:    *runners,
+		Threads:    *threads,
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queue,
+		Seed:       *seed,
+		Metrics:    obs.Default,
+	})
+	if err != nil {
+		lg.Error("starting inference server", "err", err)
+		os.Exit(1)
+	}
+
+	svc, err := study.New(srv, study.Config{
+		Dir:           *store,
+		Workers:       *workers,
+		SliceParallel: *sliceParallel,
+		QueueDepth:    *jobQueue,
+		MaxAttempts:   *attempts,
+		Metrics:       obs.Default,
+	})
+	if err != nil {
+		lg.Error("starting study service", "err", err)
+		os.Exit(1)
+	}
+	if n := svc.Store().CountState(study.StateQueued); n > 0 {
+		lg.Info("resuming incomplete volume jobs", "jobs", n)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	svc.Routes(mux)
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		lg.Info("draining")
+		// Stop taking volume work first (in-flight jobs stay resumable),
+		// then drain the slice tier.
+		svc.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			lg.Warn("drain incomplete", "err", err)
+		}
+		httpSrv.Shutdown(ctx)
+	}()
+
+	g := prog.Graph
+	lg.Info("serving",
+		"model", prog.Name,
+		"shape", []int{g.InC, g.InH, g.InW},
+		"addr", *addr,
+		"store", *store,
+		"workers", *workers,
+		"slice_parallel", *sliceParallel)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		lg.Error("listen", "err", err)
+		os.Exit(1)
+	}
+	lg.Info("stopped",
+		"done", svc.Store().CountState(study.StateDone),
+		"failed", svc.Store().CountState(study.StateFailed))
+}
+
+// demoProgram compiles a compact untrained U-Net so the volume pipeline can
+// be exercised without a trained checkpoint.
+func demoProgram(size int) (*xmodel.Program, error) {
+	cfg := unet.Config{Name: "demo", Depth: 2, BaseFilters: 8, InChannels: 1, NumClasses: 6, Seed: 2}
+	g := unet.New(cfg).Export(size, size)
+	q, err := quant.QuantizeShapeOnly(g)
+	if err != nil {
+		return nil, err
+	}
+	return xmodel.Compile(q, cfg.Name)
+}

@@ -179,3 +179,99 @@ func TestPercentilePanics(t *testing.T) {
 	}()
 	SaturatePercentiles([]float32{1, 2}, 0.9, 0.1)
 }
+
+// --- edge-case geometry tests (PR 4) -----------------------------------
+
+func TestResizeBilinear1x1Source(t *testing.T) {
+	// A 1×1 source has a single sample; every output pixel must clamp to
+	// it regardless of output geometry.
+	dst := ResizeBilinear([]float32{42}, 1, 1, 4, 7)
+	if len(dst) != 4*7 {
+		t.Fatalf("output length %d, want 28", len(dst))
+	}
+	for i, v := range dst {
+		if v != 42 {
+			t.Fatalf("pixel %d: %v, want 42", i, v)
+		}
+	}
+	// And downsampling to 1×1 must land inside the source value range.
+	one := ResizeBilinear([]float32{1, 2, 3, 4}, 2, 2, 1, 1)
+	if len(one) != 1 || one[0] < 1 || one[0] > 4 {
+		t.Fatalf("2×2→1×1 resize = %v, want a value in [1,4]", one)
+	}
+}
+
+func TestResizeNearestLabels1x1Source(t *testing.T) {
+	dst := ResizeNearestLabels([]uint8{5}, 1, 1, 3, 6)
+	if len(dst) != 3*6 {
+		t.Fatalf("output length %d, want 18", len(dst))
+	}
+	for i, v := range dst {
+		if v != 5 {
+			t.Fatalf("pixel %d: %d, want 5", i, v)
+		}
+	}
+}
+
+func TestResizeNonSquareAspect(t *testing.T) {
+	// 2×4 → 4×2: rows stretch, columns shrink. Nearest-neighbor picks the
+	// center-aligned source pixel, so the expected output is exact.
+	src := []uint8{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+	}
+	got := ResizeNearestLabels(src, 2, 4, 4, 2)
+	want := []uint8{
+		1, 3,
+		1, 3,
+		5, 7,
+		5, 7,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d: %d, want %d (got %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Bilinear on the same geometry must preserve a column-constant image
+	// exactly while interpolating rows.
+	colsrc := []float32{
+		10, 20, 30, 40,
+		10, 20, 30, 40,
+	}
+	b := ResizeBilinear(colsrc, 2, 4, 4, 2)
+	for r := 0; r < 4; r++ {
+		if b[r*2] != b[0] || b[r*2+1] != b[1] {
+			t.Fatalf("row %d differs on a row-invariant image: %v", r, b)
+		}
+	}
+	if !(b[0] > 10 && b[0] < 30 && b[1] > 20 && b[1] < 40) {
+		t.Fatalf("interpolated columns out of range: %v", b)
+	}
+}
+
+func TestIdentityResizeIsCopy(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5, 6}
+	dst := ResizeBilinear(src, 2, 3, 2, 3)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("bilinear identity changed pixel %d", i)
+		}
+	}
+	dst[0] = 99
+	if src[0] != 1 {
+		t.Fatal("bilinear identity resize aliases the source")
+	}
+
+	lsrc := []uint8{1, 2, 3, 4, 5, 6}
+	ldst := ResizeNearestLabels(lsrc, 3, 2, 3, 2)
+	for i := range lsrc {
+		if ldst[i] != lsrc[i] {
+			t.Fatalf("nearest identity changed pixel %d: %v", i, ldst)
+		}
+	}
+	ldst[0] = 99
+	if lsrc[0] != 1 {
+		t.Fatal("nearest identity resize aliases the source")
+	}
+}

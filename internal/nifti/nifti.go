@@ -7,11 +7,14 @@
 package nifti
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"strings"
 )
 
 // Datatype codes from the NIfTI-1 standard (the subset we support).
@@ -200,10 +203,25 @@ func clamp(f, lo, hi float32) float32 {
 }
 
 // Read parses a single-file NIfTI-1 image written by Write (or any
-// little-endian .nii with a supported datatype). Malformed input yields an
-// error, never a panic, and memory use is bounded by the bytes actually
-// present in r (plus the MaxVoxels cap), not by what the header declares.
+// little-endian .nii with a supported datatype). Gzip-compressed input
+// (.nii.gz) is detected by its magic bytes and decompressed transparently.
+// Malformed input yields an error, never a panic, and memory use is bounded
+// by the bytes actually present in r (plus the MaxVoxels cap), not by what
+// the header declares.
 func Read(r io.Reader) (*Volume, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("nifti: opening gzip stream: %w", err)
+		}
+		defer gz.Close()
+		return readRaw(gz)
+	}
+	return readRaw(br)
+}
+
+func readRaw(r io.Reader) (*Volume, error) {
 	var h header
 	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
 		return nil, fmt.Errorf("nifti: reading header: %w", err)
@@ -299,14 +317,30 @@ func readVoxels(r io.Reader, datatype int16, total int64, slope, inter float32) 
 	return data, nil
 }
 
-// WriteFile writes the volume to path.
+// WriteGzip serializes the volume as a gzip-compressed single-file NIfTI-1
+// image (the .nii.gz encoding CT-ORG distributes).
+func WriteGzip(w io.Writer, v *Volume) error {
+	gz := gzip.NewWriter(w)
+	if err := Write(gz, v); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteFile writes the volume to path, gzip-compressing when the path ends
+// in .gz (e.g. volume.nii.gz).
 func WriteFile(path string, v *Volume) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := Write(f, v); err != nil {
+	write := Write
+	if strings.HasSuffix(path, ".gz") {
+		write = WriteGzip
+	}
+	if err := write(f, v); err != nil {
 		return err
 	}
 	return f.Close()

@@ -3,8 +3,95 @@ package nifti
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
+
+// TestRoundTripLabelVolume writes a uint8 label volume with non-unit voxel
+// spacing — the shape every study-pipeline mask takes — and re-reads it:
+// header fields, spacing, and every voxel must survive, through both the
+// plain and the gzip encodings.
+func TestRoundTripLabelVolume(t *testing.T) {
+	v := NewVolume(7, 5, 4, DTUint8)
+	rng := rand.New(rand.NewSource(3))
+	for i := range v.Data {
+		v.Data[i] = float32(rng.Intn(6)) // CT-ORG label range
+	}
+	v.PixDim = [3]float32{0.75, 0.75, 3.2}
+
+	check := func(t *testing.T, got *Volume) {
+		t.Helper()
+		if got.Nx != 7 || got.Ny != 5 || got.Nz != 4 {
+			t.Fatalf("dims %d×%d×%d, want 7×5×4", got.Nx, got.Ny, got.Nz)
+		}
+		if got.Datatype != DTUint8 {
+			t.Fatalf("datatype %d, want %d", got.Datatype, DTUint8)
+		}
+		if got.PixDim != v.PixDim {
+			t.Fatalf("pixdim %v, want %v", got.PixDim, v.PixDim)
+		}
+		for i := range v.Data {
+			if got.Data[i] != v.Data[i] {
+				t.Fatalf("voxel %d: %v, want %v", i, got.Data[i], v.Data[i])
+			}
+		}
+	}
+
+	t.Run("plain", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := Write(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, got)
+	})
+
+	t.Run("gzip", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteGzip(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		// The gzip stream must actually be compressed, and Read must
+		// detect it without being told.
+		if b := buf.Bytes(); b[0] != 0x1f || b[1] != 0x8b {
+			t.Fatalf("WriteGzip output lacks gzip magic: % x", b[:2])
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, got)
+	})
+
+	t.Run("gz-file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "labels.nii.gz")
+		if err := WriteFile(path, v); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw[0] != 0x1f || raw[1] != 0x8b {
+			t.Fatal("WriteFile did not gzip a .gz path")
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, got)
+	})
+}
+
+func TestReadRejectsCorruptGzip(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00, 0x01})); err == nil {
+		t.Fatal("corrupt gzip stream accepted")
+	}
+}
 
 func TestRoundTripFloat32(t *testing.T) {
 	v := NewVolume(5, 4, 3, DTFloat32)

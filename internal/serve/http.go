@@ -68,7 +68,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
-	case errors.Is(err, ErrClosing):
+	case errors.Is(err, ErrDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -90,10 +90,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "{\"status\":\"draining\",\"model\":%q}\n", s.prog.Name)
+		fmt.Fprintf(w, "{\"status\":\"draining\",\"draining\":true,\"model\":%q}\n", s.prog.Name)
 		return
 	}
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"model\":%q}\n", s.prog.Name)
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"draining\":false,\"model\":%q}\n", s.prog.Name)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

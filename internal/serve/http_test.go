@@ -153,6 +153,9 @@ func TestHTTPHealthzAndStatz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
 		t.Fatalf("healthz: HTTP %d %s", resp.StatusCode, body)
 	}
+	if !strings.Contains(string(body), `"draining":false`) {
+		t.Fatalf("healthz body missing draining field: %s", body)
+	}
 
 	// Serve one request so the stats are non-trivial.
 	r2, err := http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(EncodeInput(data)))
@@ -191,9 +194,13 @@ func TestHTTPHealthzAndStatz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body4, _ := io.ReadAll(r4.Body)
 	r4.Body.Close()
 	if r4.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz: HTTP %d, want 503", r4.StatusCode)
+	}
+	if !strings.Contains(string(body4), `"draining":true`) {
+		t.Fatalf("draining healthz body missing draining field: %s", body4)
 	}
 }
 

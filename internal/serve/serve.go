@@ -100,9 +100,12 @@ var (
 	// ErrQueueFull reports that the admission queue is at capacity; the
 	// HTTP layer maps it to 429 with a Retry-After hint.
 	ErrQueueFull = errors.New("serve: admission queue full")
-	// ErrClosing reports that the server is draining and admits no new
-	// work; the HTTP layer maps it to 503.
-	ErrClosing = errors.New("serve: server is draining")
+	// ErrDraining reports that Shutdown has begun and the server admits no
+	// new work; the HTTP layer maps it to 503.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrClosing is the original name of ErrDraining, kept as an alias so
+	// errors.Is checks written against either name keep passing.
+	ErrClosing = ErrDraining
 )
 
 // Server is the micro-batching inference service over one compiled
@@ -183,7 +186,7 @@ func New(dev *dpu.Device, prog *xmodel.Program, cfg Config) (*Server, error) {
 }
 
 // Submit admits one CHW image and blocks until its mask is ready, the
-// context expires, or admission is refused (ErrQueueFull, ErrClosing).
+// context expires, or admission is refused (ErrQueueFull, ErrDraining).
 // It is the in-process equivalent of POST /v1/segment and is safe for
 // arbitrary concurrent use.
 func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) ([]uint8, error) {
@@ -210,7 +213,7 @@ func (s *Server) submit(ctx context.Context, img *tensor.Tensor) ([]uint8, int, 
 	s.mu.RLock()
 	if s.closing {
 		s.mu.RUnlock()
-		return nil, 0, ErrClosing
+		return nil, 0, ErrDraining
 	}
 	select {
 	case s.queue <- j:
@@ -279,3 +282,12 @@ func (s *Server) Draining() bool {
 	defer s.mu.RUnlock()
 	return s.closing
 }
+
+// InputShape returns the CHW input geometry of the served model.
+func (s *Server) InputShape() (c, h, w int) {
+	g := s.prog.Graph
+	return g.InC, g.InH, g.InW
+}
+
+// NumClasses returns the class count of the served model's output masks.
+func (s *Server) NumClasses() int { return s.prog.Graph.NumClasses }

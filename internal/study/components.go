@@ -1,0 +1,99 @@
+package study
+
+// LargestComponents keeps, for every non-background class, only its largest
+// 6-connected component in the nx×ny×nz label volume (x fastest, as in
+// nifti.Volume) and clears every smaller island to background. It returns
+// the per-class count of removed voxels, indexed by class (length
+// numClasses; labels ≥ numClasses are left untouched and uncounted).
+//
+// This is the standard 3D cleanup for slice-wise segmentation: each axial
+// slice is predicted independently, so spurious detections show up as small
+// disconnected blobs that a whole-volume prior removes for free. Memory is
+// one int32 component id per voxel plus the BFS frontier.
+func LargestComponents(labels []uint8, nx, ny, nz, numClasses int) []int64 {
+	removed := make([]int64, numClasses)
+	n := nx * ny * nz
+	if len(labels) != n || n == 0 || numClasses <= 0 {
+		return removed
+	}
+
+	// One flood-fill sweep assigns every labeled voxel a component id;
+	// components never span classes because the fill only follows voxels
+	// of the seed's class.
+	comp := make([]int32, n) // 0 = unassigned/background, ids start at 1
+	type compInfo struct {
+		class uint8
+		size  int64
+	}
+	comps := []compInfo{{}} // index 0 unused
+	queue := make([]int32, 0, 1024)
+	plane := nx * ny
+	for seed := 0; seed < n; seed++ {
+		if labels[seed] == 0 || comp[seed] != 0 {
+			continue
+		}
+		class := labels[seed]
+		id := int32(len(comps))
+		comps = append(comps, compInfo{class: class})
+		comp[seed] = id
+		queue = append(queue[:0], int32(seed))
+		var size int64
+		for len(queue) > 0 {
+			v := int(queue[len(queue)-1])
+			queue = queue[:len(queue)-1]
+			size++
+			x := v % nx
+			y := (v / nx) % ny
+			// 6-connectivity: ±x, ±y, ±z.
+			if x > 0 && comp[v-1] == 0 && labels[v-1] == class {
+				comp[v-1] = id
+				queue = append(queue, int32(v-1))
+			}
+			if x+1 < nx && comp[v+1] == 0 && labels[v+1] == class {
+				comp[v+1] = id
+				queue = append(queue, int32(v+1))
+			}
+			if y > 0 && comp[v-nx] == 0 && labels[v-nx] == class {
+				comp[v-nx] = id
+				queue = append(queue, int32(v-nx))
+			}
+			if y+1 < ny && comp[v+nx] == 0 && labels[v+nx] == class {
+				comp[v+nx] = id
+				queue = append(queue, int32(v+nx))
+			}
+			if v-plane >= 0 && comp[v-plane] == 0 && labels[v-plane] == class {
+				comp[v-plane] = id
+				queue = append(queue, int32(v-plane))
+			}
+			if v+plane < n && comp[v+plane] == 0 && labels[v+plane] == class {
+				comp[v+plane] = id
+				queue = append(queue, int32(v+plane))
+			}
+		}
+		comps[id].size = size
+	}
+
+	// Pick the largest component per class (first wins ties, making the
+	// filter deterministic), then clear everything else.
+	best := make([]int32, numClasses)
+	for id := 1; id < len(comps); id++ {
+		c := comps[id]
+		if int(c.class) >= numClasses {
+			continue
+		}
+		if best[c.class] == 0 || c.size > comps[best[c.class]].size {
+			best[c.class] = int32(id)
+		}
+	}
+	for v := 0; v < n; v++ {
+		class := labels[v]
+		if class == 0 || int(class) >= numClasses {
+			continue
+		}
+		if comp[v] != best[class] {
+			labels[v] = 0
+			removed[class]++
+		}
+	}
+	return removed
+}

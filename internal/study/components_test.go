@@ -1,0 +1,81 @@
+package study
+
+import "testing"
+
+// idx converts (x, y, z) to the flat x-fastest index used by nifti.Volume.
+func idx(x, y, z, nx, ny int) int { return (z*ny+y)*nx + x }
+
+func TestLargestComponentsKeepsBiggestIsland(t *testing.T) {
+	const nx, ny, nz = 5, 4, 3
+	labels := make([]uint8, nx*ny*nz)
+	// Class 1: a 4-voxel bar on z=0 and a lone voxel on z=2 (not connected).
+	for x := 0; x < 4; x++ {
+		labels[idx(x, 0, 0, nx, ny)] = 1
+	}
+	labels[idx(4, 3, 2, nx, ny)] = 1
+	// Class 2: two voxels stacked in z (connected through the z axis).
+	labels[idx(2, 2, 0, nx, ny)] = 2
+	labels[idx(2, 2, 1, nx, ny)] = 2
+
+	removed := LargestComponents(labels, nx, ny, nz, 3)
+	if removed[1] != 1 {
+		t.Fatalf("class 1 removed %d voxels, want 1", removed[1])
+	}
+	if removed[2] != 0 {
+		t.Fatalf("class 2 removed %d voxels, want 0", removed[2])
+	}
+	if labels[idx(4, 3, 2, nx, ny)] != 0 {
+		t.Fatal("stray class-1 island survived")
+	}
+	for x := 0; x < 4; x++ {
+		if labels[idx(x, 0, 0, nx, ny)] != 1 {
+			t.Fatalf("largest class-1 component lost voxel x=%d", x)
+		}
+	}
+	if labels[idx(2, 2, 0, nx, ny)] != 2 || labels[idx(2, 2, 1, nx, ny)] != 2 {
+		t.Fatal("class-2 component damaged")
+	}
+}
+
+func TestLargestComponentsDiagonalIsNotConnected(t *testing.T) {
+	// Two voxels touching only at a corner are separate under
+	// 6-connectivity; the filter must drop one of them.
+	const nx, ny, nz = 3, 3, 1
+	labels := make([]uint8, nx*ny*nz)
+	labels[idx(0, 0, 0, nx, ny)] = 1
+	labels[idx(1, 1, 0, nx, ny)] = 1
+	removed := LargestComponents(labels, nx, ny, nz, 2)
+	if removed[1] != 1 {
+		t.Fatalf("removed %d voxels, want 1 (diagonal neighbors must not merge)", removed[1])
+	}
+	// Equal sizes: the first-seen component wins deterministically.
+	if labels[idx(0, 0, 0, nx, ny)] != 1 || labels[idx(1, 1, 0, nx, ny)] != 0 {
+		t.Fatalf("tie not broken deterministically: %v", labels)
+	}
+}
+
+func TestLargestComponentsIgnoresBackgroundAndOutOfRange(t *testing.T) {
+	const nx, ny, nz = 2, 2, 2
+	labels := make([]uint8, nx*ny*nz)
+	labels[0] = 9 // out of numClasses range: untouched, uncounted
+	removed := LargestComponents(labels, nx, ny, nz, 3)
+	for c, r := range removed {
+		if r != 0 {
+			t.Fatalf("class %d reports %d removed on a background volume", c, r)
+		}
+	}
+	if labels[0] != 9 {
+		t.Fatal("out-of-range label was modified")
+	}
+}
+
+func TestLargestComponentsEmptyAndMismatched(t *testing.T) {
+	if r := LargestComponents(nil, 0, 0, 0, 3); len(r) != 3 {
+		t.Fatalf("empty volume: removed = %v", r)
+	}
+	// Length mismatch: no-op, no panic.
+	labels := []uint8{1, 1}
+	if r := LargestComponents(labels, 3, 3, 3, 2); r[1] != 0 {
+		t.Fatalf("mismatched volume modified: %v", r)
+	}
+}

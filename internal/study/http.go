@@ -1,0 +1,205 @@
+package study
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"strings"
+
+	"seneca/internal/nifti"
+)
+
+// maxBodyBytes caps uploaded volume bodies (matches the serving tier).
+const maxBodyBytes = 256 << 20
+
+// Routes registers the volume job API on mux:
+//
+//	POST /v1/volumes            submit a CT volume; 202 + {"id": ...}
+//	GET  /v1/volumes            list jobs, newest first
+//	GET  /v1/volumes/{id}       job status/progress/report
+//	GET  /v1/volumes/{id}/mask  the segmented label volume as NIfTI
+//
+// POST accepts either a raw NIfTI body (Content-Type application/x-nifti or
+// application/octet-stream; gzip input is detected automatically) or
+// multipart/form-data with a "ct" file and an optional "gt" ground-truth
+// file (enables Dice in the report). Query parameter postprocess=0 disables
+// the largest-component filter. GET .../mask?gz=1 compresses the download.
+//
+// Mount these on the same mux as serve.Server.Handler() to expose the
+// synchronous slice API and the asynchronous volume API from one listener
+// (see cmd/seneca-study).
+func (s *Service) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/volumes", s.handleSubmit)
+	mux.HandleFunc("GET /v1/volumes", s.handleList)
+	mux.HandleFunc("GET /v1/volumes/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/volumes/{id}/mask", s.handleMask)
+}
+
+// Handler returns a standalone handler serving only the volume API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ct, truth, status, err := decodeVolumes(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	opt := Options{Postprocess: r.URL.Query().Get("postprocess") != "0"}
+	id, err := s.SubmitVolume(ct, truth, opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/volumes/"+id)
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "{\"id\":%q,\"status_url\":\"/v1/volumes/%s\"}\n", id, id)
+}
+
+// decodeVolumes parses the submission body into CT (+ optional truth)
+// volumes. The int return is the HTTP status for the error case.
+func decodeVolumes(r *http.Request) (ct, truth *nifti.Volume, status int, err error) {
+	mediatype := r.Header.Get("Content-Type")
+	if mediatype != "" {
+		if parsed, _, perr := mime.ParseMediaType(mediatype); perr == nil {
+			mediatype = parsed
+		}
+	}
+	body := io.LimitReader(r.Body, maxBodyBytes)
+	switch mediatype {
+	case "", "application/octet-stream", "application/x-nifti", "application/nifti", "application/gzip":
+		ct, err = nifti.Read(body)
+		if err != nil {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("study: bad NIfTI body: %w", err)
+		}
+		return ct, nil, 0, nil
+
+	case "multipart/form-data":
+		mr, err := r.MultipartReader()
+		if err != nil {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("study: bad multipart body: %w", err)
+		}
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, http.StatusBadRequest, fmt.Errorf("study: reading multipart body: %w", err)
+			}
+			switch part.FormName() {
+			case "ct":
+				ct, err = nifti.Read(io.LimitReader(part, maxBodyBytes))
+			case "gt":
+				truth, err = nifti.Read(io.LimitReader(part, maxBodyBytes))
+			default:
+				err = fmt.Errorf("study: unknown multipart field %q (want ct, gt)", part.FormName())
+			}
+			part.Close()
+			if err != nil {
+				return nil, nil, http.StatusBadRequest, err
+			}
+		}
+		if ct == nil {
+			return nil, nil, http.StatusBadRequest, errors.New(`study: multipart body missing the "ct" volume`)
+		}
+		return ct, truth, 0, nil
+	}
+	return nil, nil, http.StatusUnsupportedMediaType,
+		fmt.Errorf("study: unsupported Content-Type %q", mediatype)
+}
+
+// statusView is the JSON shape of the status endpoint: the job record plus
+// derived progress.
+type statusView struct {
+	Job
+	// Progress is infer-stage completion in [0, 1] (1 once past infer).
+	Progress float64 `json:"progress"`
+}
+
+func view(j Job) statusView {
+	v := statusView{Job: j}
+	switch {
+	case j.State == StateDone:
+		v.Progress = 1
+	case j.Nz > 0:
+		idx := stageIndex(j.Stage)
+		if j.State != StateFailed && idx > stageIndex(StageInfer) {
+			v.Progress = 1
+		} else {
+			v.Progress = float64(j.SlicesDone) / float64(j.Nz)
+		}
+	}
+	return v
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.st.List()
+	views := make([]statusView, len(jobs))
+	for i, j := range jobs {
+		views[i] = view(j)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(views)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.st.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "study: no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view(j))
+}
+
+func (s *Service) handleMask(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.st.Get(id)
+	if !ok {
+		http.Error(w, "study: no such job", http.StatusNotFound)
+		return
+	}
+	if j.State != StateDone {
+		http.Error(w, fmt.Sprintf("study: job is %s, mask not ready", j.State), http.StatusConflict)
+		return
+	}
+	f, err := os.Open(s.st.MaskPath(id))
+	if err != nil {
+		http.Error(w, "study: mask blob missing", http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	if r.URL.Query().Get("gz") == "1" || strings.Contains(r.Header.Get("Accept"), "application/gzip") {
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".mask.nii.gz"))
+		gz := gzip.NewWriter(w)
+		io.Copy(gz, f)
+		gz.Close()
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-nifti")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".mask.nii"))
+	io.Copy(w, f)
+}

@@ -1,0 +1,323 @@
+package study
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"seneca/internal/imaging"
+	"seneca/internal/metrics"
+	"seneca/internal/nifti"
+	"seneca/internal/phantom"
+	"seneca/internal/tensor"
+)
+
+// writeBlobAtomic writes bytes produced by fill to path via a temp file and
+// rename, so stage outputs appear on disk all-or-nothing — a crashed stage
+// leaves either its complete artifact or nothing, never a torn file.
+func writeBlobAtomic(path string, fill func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// preprocessSlice applies the SENECA input pipeline (Section III-A) to one
+// native-resolution slice: bilinear resample to the model geometry,
+// 1%/99% contrast saturation, [-1, 1] rescale. Identical to
+// imaging.Preprocess for square models, generalized to h×w.
+func preprocessSlice(raw []float32, ny, nx, h, w int) []float32 {
+	img := imaging.ResizeBilinear(raw, ny, nx, h, w)
+	imaging.SaturatePercentiles(img, 0.01, 0.99)
+	imaging.RescaleToUnit(img)
+	return img
+}
+
+// stageIngest validates the uploaded volume (and ground truth, if any) and
+// records its geometry on the job.
+func (s *Service) stageIngest(ctx context.Context, id string) error {
+	vol, err := nifti.ReadFile(s.st.InputPath(id))
+	if err != nil {
+		return fmt.Errorf("reading input volume: %w", err)
+	}
+	j, _ := s.st.Get(id)
+	if j.HasTruth {
+		truth, err := nifti.ReadFile(s.st.TruthPath(id))
+		if err != nil {
+			return fmt.Errorf("reading ground-truth volume: %w", err)
+		}
+		if truth.Nx != vol.Nx || truth.Ny != vol.Ny || truth.Nz != vol.Nz {
+			return fmt.Errorf("ground truth is %d×%d×%d, CT is %d×%d×%d",
+				truth.Nx, truth.Ny, truth.Nz, vol.Nx, vol.Ny, vol.Nz)
+		}
+	}
+	return s.st.Update(id, func(j *Job) {
+		j.Nx, j.Ny, j.Nz = vol.Nx, vol.Ny, vol.Nz
+		j.PixDim = vol.PixDim
+	})
+}
+
+// stagePreprocess resamples every axial slice to the model geometry and
+// persists the stack as raw float32, the durable input of the infer stage.
+func (s *Service) stagePreprocess(ctx context.Context, id string) error {
+	vol, err := nifti.ReadFile(s.st.InputPath(id))
+	if err != nil {
+		return fmt.Errorf("reading input volume: %w", err)
+	}
+	h, w := s.inH, s.inW
+	buf := make([]byte, 4*h*w)
+	return writeBlobAtomic(s.st.PrePath(id), func(f *os.File) error {
+		for z := 0; z < vol.Nz; z++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			img := preprocessSlice(vol.Slice(z), vol.Ny, vol.Nx, h, w)
+			for i, v := range img {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+			}
+			if _, err := f.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// stageInfer fans the preprocessed slices across the Segmenter, up to
+// SliceParallel in flight at once, and persists the model-resolution mask
+// stack. Slice order in the output is the volume's axial order regardless
+// of completion order.
+func (s *Service) stageInfer(ctx context.Context, id string) error {
+	j, ok := s.st.Get(id)
+	if !ok {
+		return fmt.Errorf("job disappeared")
+	}
+	h, w := s.inH, s.inW
+	raw, err := os.ReadFile(s.st.PrePath(id))
+	if err != nil {
+		return fmt.Errorf("reading preprocessed slices: %w", err)
+	}
+	if len(raw) != 4*h*w*j.Nz {
+		return fmt.Errorf("preprocessed stack is %d bytes, want %d", len(raw), 4*h*w*j.Nz)
+	}
+
+	masks := make([]byte, h*w*j.Nz)
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+		done     atomic.Int64
+	)
+	sem := make(chan struct{}, s.cfg.SliceParallel)
+	for z := 0; z < j.Nz; z++ {
+		select {
+		case sem <- struct{}{}:
+		case <-ictx.Done():
+		}
+		if ictx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(z int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data := make([]float32, h*w)
+			off := 4 * h * w * z
+			for i := range data {
+				data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[off+4*i:]))
+			}
+			mask, err := s.seg.Submit(ictx, tensor.FromSlice(data, 1, h, w))
+			if err != nil {
+				errOnce.Do(func() { firstErr = err; cancel() })
+				return
+			}
+			copy(masks[h*w*z:], mask)
+			n := done.Add(1)
+			s.mSlices.Inc()
+			// Periodic progress checkpoints keep the status endpoint live
+			// on long volumes without a persist per slice.
+			if n%16 == 0 {
+				s.st.Update(id, func(j *Job) { j.SlicesDone = int(n) })
+			}
+		}(z)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("segmenting slices: %w", firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.st.Update(id, func(j *Job) { j.SlicesDone = j.Nz }); err != nil {
+		return err
+	}
+	return writeBlobAtomic(s.st.SliceMaskPath(id), func(f *os.File) error {
+		_, err := f.Write(masks)
+		return err
+	})
+}
+
+// stageReassemble resamples each model-resolution mask back to the native
+// slice geometry and stacks them into a NIfTI label volume carrying the
+// input's voxel spacing.
+func (s *Service) stageReassemble(ctx context.Context, id string) error {
+	j, ok := s.st.Get(id)
+	if !ok {
+		return fmt.Errorf("job disappeared")
+	}
+	h, w := s.inH, s.inW
+	masks, err := os.ReadFile(s.st.SliceMaskPath(id))
+	if err != nil {
+		return fmt.Errorf("reading slice masks: %w", err)
+	}
+	if len(masks) != h*w*j.Nz {
+		return fmt.Errorf("slice mask stack is %d bytes, want %d", len(masks), h*w*j.Nz)
+	}
+	out := nifti.NewVolume(j.Nx, j.Ny, j.Nz, nifti.DTUint8)
+	out.PixDim = j.PixDim
+	plane := j.Nx * j.Ny
+	for z := 0; z < j.Nz; z++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		native := imaging.ResizeNearestLabels(masks[h*w*z:h*w*(z+1)], h, w, j.Ny, j.Nx)
+		for i, v := range native {
+			out.Data[plane*z+i] = float32(v)
+		}
+	}
+	return writeBlobAtomic(s.st.MaskPath(id), func(f *os.File) error {
+		return nifti.Write(f, out)
+	})
+}
+
+// stagePostprocess applies the per-organ largest-connected-component filter
+// to the reassembled volume (skipped when the job opted out).
+func (s *Service) stagePostprocess(ctx context.Context, id string) error {
+	j, ok := s.st.Get(id)
+	if !ok {
+		return fmt.Errorf("job disappeared")
+	}
+	if !j.Postprocess {
+		return nil
+	}
+	vol, err := nifti.ReadFile(s.st.MaskPath(id))
+	if err != nil {
+		return fmt.Errorf("reading reassembled mask: %w", err)
+	}
+	labels := volumeLabels(vol)
+	removed := LargestComponents(labels, vol.Nx, vol.Ny, vol.Nz, s.seg.NumClasses())
+	for i, v := range labels {
+		vol.Data[i] = float32(v)
+	}
+	if err := writeBlobAtomic(s.st.MaskPath(id), func(f *os.File) error {
+		return nifti.Write(f, vol)
+	}); err != nil {
+		return err
+	}
+	return s.st.Update(id, func(j *Job) { j.Removed = removed })
+}
+
+// stageReport computes per-organ volumetrics (and Dice, with ground truth)
+// from the final mask volume and stores the report on the job.
+func (s *Service) stageReport(ctx context.Context, id string) error {
+	j, ok := s.st.Get(id)
+	if !ok {
+		return fmt.Errorf("job disappeared")
+	}
+	vol, err := nifti.ReadFile(s.st.MaskPath(id))
+	if err != nil {
+		return fmt.Errorf("reading mask volume: %w", err)
+	}
+	pred := volumeLabels(vol)
+
+	nc := s.seg.NumClasses()
+	var truth []uint8
+	if j.HasTruth {
+		tv, err := nifti.ReadFile(s.st.TruthPath(id))
+		if err != nil {
+			return fmt.Errorf("reading ground-truth volume: %w", err)
+		}
+		truth = volumeLabels(tv)
+		for _, v := range truth {
+			if int(v) >= nc {
+				nc = int(v) + 1
+			}
+		}
+	}
+
+	// Voxel volume from the NIfTI spacing: pixdim is mm per axis, so one
+	// voxel is dx·dy·dz mm³ = dx·dy·dz/1000 mL.
+	voxelML := float64(j.PixDim[0]) * float64(j.PixDim[1]) * float64(j.PixDim[2]) / 1000
+	counts := make([]int64, nc)
+	for _, v := range pred {
+		if int(v) < nc {
+			counts[v]++
+		}
+	}
+	var conf *metrics.Confusion
+	if truth != nil {
+		conf = metrics.NewConfusion(nc)
+		conf.Add(pred, truth)
+	}
+
+	rep := &Report{VoxelML: voxelML, Slices: j.Nz, HasTruth: truth != nil}
+	for class := 1; class < nc; class++ {
+		or := OrganReport{
+			Class:    class,
+			Name:     className(class),
+			Voxels:   counts[class],
+			VolumeML: float64(counts[class]) * voxelML,
+		}
+		if class < len(j.Removed) {
+			or.RemovedVoxels = j.Removed[class]
+		}
+		if conf != nil {
+			or.Dice = conf.Dice(class)
+		}
+		rep.Organs = append(rep.Organs, or)
+	}
+	if conf != nil {
+		rep.GlobalDice = conf.GlobalDice()
+	}
+	return s.st.Update(id, func(j *Job) { j.Report = rep })
+}
+
+// volumeLabels converts a label volume's float voxels to uint8 classes.
+func volumeLabels(v *nifti.Volume) []uint8 {
+	out := make([]uint8, len(v.Data))
+	for i, f := range v.Data {
+		if f > 0 && f < 256 {
+			out[i] = uint8(f)
+		}
+	}
+	return out
+}
+
+// className resolves the CT-ORG organ name for a class index.
+func className(class int) string {
+	if class >= 0 && class < len(phantom.ClassNames) {
+		return phantom.ClassNames[class]
+	}
+	return fmt.Sprintf("class%d", class)
+}

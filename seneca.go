@@ -38,9 +38,11 @@ import (
 	"seneca/internal/experiments"
 	"seneca/internal/gpusim"
 	"seneca/internal/metrics"
+	"seneca/internal/nifti"
 	"seneca/internal/obs"
 	"seneca/internal/phantom"
 	"seneca/internal/serve"
+	"seneca/internal/study"
 	"seneca/internal/unet"
 	"seneca/internal/vart"
 	"seneca/internal/xmodel"
@@ -102,6 +104,23 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricLabel is one name=value label pair on a metric series.
 	MetricLabel = obs.Label
+	// NIfTIVolume is an in-memory NIfTI-1 volume (internal/nifti).
+	NIfTIVolume = nifti.Volume
+	// StudyService is the asynchronous whole-volume segmentation tier:
+	// durable job store, staged executor with retry and resume, 3D
+	// post-processing and volumetric reporting (internal/study).
+	StudyService = study.Service
+	// StudyConfig tunes the study service (store dir, worker pool, retry
+	// budget, queue depth).
+	StudyConfig = study.Config
+	// StudyOptions are the per-job submission knobs.
+	StudyOptions = study.Options
+	// StudyJob is one durable volume-segmentation job record.
+	StudyJob = study.Job
+	// VolumeReport is a job's volumetric summary (per-organ mL and Dice).
+	VolumeReport = study.Report
+	// OrganReport is one organ's row of a VolumeReport.
+	OrganReport = study.OrganReport
 )
 
 // Calibration and quantization mode constants.
@@ -174,6 +193,20 @@ func NewRunner(dev *DPU, prog *Program, threads int) *Runner { return vart.New(d
 func NewServer(dev *DPU, prog *Program, cfg ServeConfig) (*InferenceServer, error) {
 	return serve.New(dev, prog, cfg)
 }
+
+// NewStudyService opens (or reopens, resuming incomplete jobs) the durable
+// volume-job store at cfg.Dir and starts the staged whole-volume pipeline
+// over an inference server. Mount its Routes on the same mux as the
+// server's Handler to expose both tiers from one listener (see
+// cmd/seneca-study).
+func NewStudyService(srv *InferenceServer, cfg StudyConfig) (*StudyService, error) {
+	return study.New(srv, cfg)
+}
+
+// ReadNIfTI / WriteNIfTI move volumes between disk and memory; gzip is
+// detected on read and selected by a .gz path suffix on write.
+func ReadNIfTI(path string) (*NIfTIVolume, error)  { return nifti.ReadFile(path) }
+func WriteNIfTI(path string, v *NIfTIVolume) error { return nifti.WriteFile(path, v) }
 
 // SweepLoad drives a running inference server closed-loop at each
 // concurrency level — the serving-side analog of Runner.SweepThreads.
