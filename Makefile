@@ -4,10 +4,10 @@ GO ?= go
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR4.json
-BENCH_BASELINE   = BENCH_PR3.json
+BENCH_SNAPSHOT   = BENCH_PR5.json
+BENCH_BASELINE   = BENCH_PR4.json
 
-.PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz
+.PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz chaos
 
 # ci is the gate GitHub Actions runs: formatting, build, vet, race tests.
 ci: fmt-check build vet race
@@ -40,6 +40,12 @@ bench-compare:
 # bench-all additionally runs the heavy table/figure reproduction benches.
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# chaos runs the fault-injection resilience tests under the race detector:
+# runners killed and stalled mid-load must never produce a wrong or lost
+# response (see README "Resilience & fault injection").
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/serve/ ./internal/study/
 
 # fuzz exercises the binary-format parsers beyond their committed corpora.
 fuzz:

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"seneca/internal/dpu"
+	"seneca/internal/fault"
 	"seneca/internal/obs"
 	"seneca/internal/quant"
 	"seneca/internal/serve"
@@ -49,11 +50,25 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive batch failures that trip a runner's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before a half-open probe")
+	watchdog := flag.Duration("watchdog", 30*time.Second, "per-batch watchdog deadline on a runner")
+	redispatch := flag.Int("redispatch", 3, "times a request may ride a failed batch back into the queue")
+	maxBody := flag.Int64("max-body", 256<<20, "request body cap in bytes (413 beyond it)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "vart.run.error,p=0.05;nifti.read,p=0.01" (chaos testing)`)
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
 	lg := obs.SetupDefault("seneca-serve", obs.ParseLevel(*logLevel))
+	if *faults != "" {
+		if err := fault.Apply(*faults); err != nil {
+			lg.Error("bad -faults spec", "err", err)
+			os.Exit(1)
+		}
+		fault.Seed(*seed)
+		lg.Warn("fault injection armed", "points", fault.Active())
+	}
 
 	var prog *xmodel.Program
 	var err error
@@ -82,6 +97,12 @@ func main() {
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Seed:       *seed,
+
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		WatchdogTimeout:  *watchdog,
+		MaxRedispatch:    *redispatch,
+		MaxBodyBytes:     *maxBody,
 		// Share the process-wide registry: one scrape shows the serving
 		// series next to the pipeline stage timers (simulate spans etc).
 		Metrics: obs.Default,
@@ -101,7 +122,16 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		lg.Info("pprof enabled", "path", "/debug/pprof/")
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Slowloris/credit hygiene: bound how long a connection may dribble
+		// headers or a body, and reap idle keep-alives. Bodies are further
+		// capped by MaxBodyBytes inside the handlers.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"seneca/internal/dpu"
+	"seneca/internal/fault"
 	"seneca/internal/obs"
 	"seneca/internal/quant"
 	"seneca/internal/serve"
@@ -57,10 +58,20 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "volume job queue depth")
 	attempts := flag.Int("attempts", 3, "per-stage attempt budget")
 	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	maxBody := flag.Int64("max-body", 256<<20, "request body cap in bytes (413 beyond it)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "study.blob.write,p=0.05;vart.run.error,p=0.02" (chaos testing)`)
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
 	lg := obs.SetupDefault("seneca-study", obs.ParseLevel(*logLevel))
+	if *faults != "" {
+		if err := fault.Apply(*faults); err != nil {
+			lg.Error("bad -faults spec", "err", err)
+			os.Exit(1)
+		}
+		fault.Seed(*seed)
+		lg.Warn("fault injection armed", "points", fault.Active())
+	}
 
 	var prog *xmodel.Program
 	var err error
@@ -81,13 +92,14 @@ func main() {
 
 	dev := dpu.New(dpu.ZCU104B4096())
 	srv, err := serve.New(dev, prog, serve.Config{
-		Runners:    *runners,
-		Threads:    *threads,
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueDepth: *queue,
-		Seed:       *seed,
-		Metrics:    obs.Default,
+		Runners:      *runners,
+		Threads:      *threads,
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+		QueueDepth:   *queue,
+		Seed:         *seed,
+		MaxBodyBytes: *maxBody,
+		Metrics:      obs.Default,
 	})
 	if err != nil {
 		lg.Error("starting inference server", "err", err)
@@ -100,6 +112,8 @@ func main() {
 		SliceParallel: *sliceParallel,
 		QueueDepth:    *jobQueue,
 		MaxAttempts:   *attempts,
+		Seed:          *seed,
+		MaxBodyBytes:  *maxBody,
 		Metrics:       obs.Default,
 	})
 	if err != nil {
@@ -113,7 +127,16 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	svc.Routes(mux)
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Slowloris hygiene: bound header and body read time, reap idle
+		// keep-alives. Whole-volume uploads get the generous ReadTimeout;
+		// bodies are further capped by -max-body inside the handlers.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

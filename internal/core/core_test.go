@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -203,6 +204,44 @@ func TestQuantModesAllRun(t *testing.T) {
 	for mode, d := range results {
 		if d < 0.3 {
 			t.Errorf("%s produced unusable model: DSC %.3f", mode, d)
+		}
+	}
+}
+
+func TestTrainDetectsDivergence(t *testing.T) {
+	train, _ := fastDataset(t)
+	cfg := fastTrainConfig()
+	cfg.Epochs = 3
+	// A float32-edge learning rate overflows the activations and the loss
+	// goes NaN within the first steps; the loop must stop at the
+	// poisoned step with a typed error, not return a NaN-weighted model.
+	cfg.LearningRate = 1e38
+	cfg.ClipNorm = 0
+	model, report, err := Train(fastModelConfig(), train, cfg)
+	if err == nil {
+		t.Fatal("Train returned no error despite a 1e38 learning rate")
+	}
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("error does not match ErrDiverged: %v", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *DivergenceError: %v", err)
+	}
+	if de.Epoch < 1 || de.Step < 1 {
+		t.Errorf("divergence location not recorded: epoch %d step %d", de.Epoch, de.Step)
+	}
+	if !math.IsNaN(de.Loss) && !math.IsInf(de.Loss, 0) {
+		t.Errorf("recorded loss %v is finite", de.Loss)
+	}
+	if model != nil {
+		t.Error("diverged training still returned a model")
+	}
+	// The report keeps the epochs completed before the blow-up (possibly
+	// none), never a poisoned value.
+	for i, l := range report.EpochLoss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Errorf("report.EpochLoss[%d] = %v", i, l)
 		}
 	}
 }

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"time"
 
@@ -77,6 +79,29 @@ func DefaultTrainConfig() TrainConfig {
 		Seed:           1,
 	}
 }
+
+// ErrDiverged is the sentinel every *DivergenceError unwraps to, so callers
+// can errors.Is(err, ErrDiverged) without caring where training blew up.
+var ErrDiverged = errors.New("core: training diverged")
+
+// DivergenceError reports a NaN or infinite training loss — the run is
+// unrecoverable (every parameter update from here on is poison), so Train
+// stops at the offending step instead of burning the remaining epochs. The
+// usual cause is a too-large learning rate.
+type DivergenceError struct {
+	// Epoch and Step locate the poisoned update (both 1-based).
+	Epoch int
+	Step  int
+	// Loss is the offending value (NaN, +Inf or -Inf).
+	Loss float64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("core: training diverged at epoch %d step %d: loss is %v (reduce the learning rate?)", e.Epoch, e.Step, e.Loss)
+}
+
+// Unwrap makes errors.Is(err, ErrDiverged) match.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
 
 // TrainReport summarizes a training run.
 type TrainReport struct {
@@ -177,6 +202,12 @@ func Train(modelCfg unet.Config, train *ctorg.Dataset, cfg TrainConfig) (*unet.M
 			}
 			probs := model.Forward(x, true)
 			l := loss.Forward(probs, labels)
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				// Stop before the update: the report keeps the completed
+				// epochs so the caller can see the loss trajectory that led
+				// into the divergence.
+				return nil, report, &DivergenceError{Epoch: epoch + 1, Step: batches + 1, Loss: l}
+			}
 			grad := loss.Backward()
 			model.Backward(grad)
 			if qat != nil {

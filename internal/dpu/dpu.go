@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"seneca/internal/fault"
 	"seneca/internal/quant"
 	"seneca/internal/tensor"
 	"seneca/internal/xmodel"
@@ -247,6 +248,10 @@ func (d *Device) Power(busyCores int, util float64, threads int) float64 {
 // device's per-graph executor pool: safe for concurrent calls, and the only
 // steady-state allocation is the returned mask.
 func (d *Device) Execute(p *xmodel.Program, img *tensor.Tensor) ([]uint8, error) {
+	// Chaos seam: a per-frame hardware fault (ECC error, DMA timeout).
+	if err := fault.Check("dpu.execute"); err != nil {
+		return nil, err
+	}
 	poolAny, _ := d.scratch.LoadOrStore(p.Graph, &sync.Pool{})
 	pool := poolAny.(*sync.Pool)
 	ex, _ := pool.Get().(*quant.Executor)

@@ -1,0 +1,327 @@
+// Package fault is a deterministic fault-injection registry for chaos
+// testing the SENECA stack. Production code declares named injection
+// points at its real failure seams (runner execution, device simulation,
+// store writes, NIfTI decode); tests and the binaries program those points
+// with a probability, a hit budget, an error and/or a latency, and the
+// instrumented code misbehaves exactly as a flaky edge deployment would —
+// reproducibly, because every probabilistic decision draws from one seeded
+// RNG.
+//
+// The registry is designed to vanish when idle: an unprogrammed Check is a
+// single atomic load, so injection points can sit on hot paths (the INT8
+// batch loop) without costing the fault-free deployment anything.
+//
+// Every injection increments the obs counter
+// seneca_fault_injected_total{point="..."} on the registry's metrics
+// registry (obs.Default for the package-level Default), so a chaos run's
+// /metrics scrape shows exactly how much failure was injected next to how
+// the system absorbed it.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/obs"
+)
+
+// ErrInjected is the default error delivered by an error fault whose
+// program does not name a specific error.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Fault programs one injection point.
+type Fault struct {
+	// Prob is the per-hit injection probability. 0 means 1 (inject on
+	// every eligible hit); values outside (0, 1] are clamped.
+	Prob float64
+	// Count caps how many times this point injects; 0 means unlimited.
+	Count int
+	// After skips the first After hits before the point arms — "fail the
+	// third batch" is After: 2, Count: 1.
+	After int
+	// Delay is latency injected before returning (a stall). CheckCtx
+	// sleeps interruptibly; Check sleeps the full delay.
+	Delay time.Duration
+	// Err is the injected error. nil with a Delay programs a pure stall;
+	// nil without a Delay injects ErrInjected (a Fault zero value would
+	// otherwise be a silent no-op).
+	Err error
+}
+
+// Error returns an error-fault program: inject err (nil → ErrInjected)
+// with the given per-hit probability.
+func Error(prob float64, err error) Fault {
+	if err == nil {
+		err = ErrInjected
+	}
+	return Fault{Prob: prob, Err: err}
+}
+
+// Stall returns a latency-fault program: sleep d with the given per-hit
+// probability, then return no error.
+func Stall(prob float64, d time.Duration) Fault { return Fault{Prob: prob, Delay: d} }
+
+// point is one programmed injection point.
+type point struct {
+	f       Fault
+	hits    int // eligible Check calls seen
+	fired   int // injections performed
+	counter *obs.Counter
+}
+
+// Registry holds the programmed injection points. The zero value is not
+// usable; construct with NewRegistry. All methods are safe for concurrent
+// use.
+type Registry struct {
+	armed atomic.Int32 // number of programmed points; 0 short-circuits Check
+
+	mu      sync.Mutex
+	points  map[string]*point
+	rng     *rand.Rand
+	metrics *obs.Registry
+}
+
+// NewRegistry constructs a registry whose probabilistic decisions draw
+// from a seeded RNG and whose injection counters register on metrics
+// (nil → obs.Default).
+func NewRegistry(seed int64, metrics *obs.Registry) *Registry {
+	if metrics == nil {
+		metrics = obs.Default
+	}
+	return &Registry{
+		points:  make(map[string]*point),
+		rng:     rand.New(rand.NewSource(seed)),
+		metrics: metrics,
+	}
+}
+
+// Default is the process-wide registry the library injection points
+// consult. Tests program it directly (and must Reset it on cleanup); the
+// binaries program it from a -faults spec string.
+var Default = NewRegistry(1, nil)
+
+// Seed reseeds the registry's RNG so a chaos run replays the same
+// probabilistic injection sequence (given the same Check ordering).
+func (r *Registry) Seed(seed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng = rand.New(rand.NewSource(seed))
+}
+
+// Enable programs (or reprograms) the named injection point. Hit and fire
+// counts restart from zero.
+func (r *Registry) Enable(name string, f Fault) {
+	if f.Prob <= 0 || f.Prob > 1 {
+		f.Prob = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.points[name]; !exists {
+		r.armed.Add(1)
+	}
+	r.points[name] = &point{
+		f: f,
+		counter: r.metrics.Counter("seneca_fault_injected_total",
+			"Faults injected by the chaos registry, by injection point.",
+			obs.L("point", name)),
+	}
+}
+
+// Disable removes the named point's program. Its injection counter keeps
+// its value (counters are monotonic).
+func (r *Registry) Disable(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.points[name]; exists {
+		delete(r.points, name)
+		r.armed.Add(-1)
+	}
+}
+
+// Reset removes every programmed point.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.armed.Store(0)
+	r.points = make(map[string]*point)
+}
+
+// Active returns the programmed point names, sorted.
+func (r *Registry) Active() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.points))
+	for n := range r.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Injected returns how many times the named point has fired since it was
+// last (re)programmed.
+func (r *Registry) Injected(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// decide consumes one hit of the named point and returns the injection to
+// perform, if any.
+func (r *Registry) decide(name string) (delay time.Duration, err error, fire bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.points[name]
+	if !ok {
+		return 0, nil, false
+	}
+	p.hits++
+	if p.hits <= p.f.After {
+		return 0, nil, false
+	}
+	if p.f.Count > 0 && p.fired >= p.f.Count {
+		return 0, nil, false
+	}
+	if p.f.Prob < 1 && r.rng.Float64() >= p.f.Prob {
+		return 0, nil, false
+	}
+	p.fired++
+	p.counter.Inc()
+	err = p.f.Err
+	if err == nil && p.f.Delay == 0 {
+		err = ErrInjected
+	}
+	if err != nil {
+		err = fmt.Errorf("fault: point %s: %w", name, err)
+	}
+	return p.f.Delay, err, true
+}
+
+// CheckCtx consults the named injection point: it sleeps any programmed
+// delay (interruptibly — a cancelled ctx cuts the stall short and returns
+// ctx.Err()) and returns the programmed error, or nil when the point does
+// not fire. An unprogrammed point costs one atomic load.
+func (r *Registry) CheckCtx(ctx context.Context, name string) error {
+	if r.armed.Load() == 0 {
+		return nil
+	}
+	delay, err, fire := r.decide(name)
+	if !fire {
+		return nil
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		if ctx == nil {
+			<-t.C
+		} else {
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return err
+}
+
+// Check is CheckCtx without a context: stalls sleep their full delay.
+func (r *Registry) Check(name string) error { return r.CheckCtx(nil, name) }
+
+// Package-level conveniences over Default.
+
+// Enable programs a point on the Default registry.
+func Enable(name string, f Fault) { Default.Enable(name, f) }
+
+// Disable removes a point's program from the Default registry.
+func Disable(name string) { Default.Disable(name) }
+
+// Reset clears every program on the Default registry.
+func Reset() { Default.Reset() }
+
+// Seed reseeds the Default registry.
+func Seed(seed int64) { Default.Seed(seed) }
+
+// Check consults a point on the Default registry.
+func Check(name string) error { return Default.Check(name) }
+
+// CheckCtx consults a point on the Default registry with a context.
+func CheckCtx(ctx context.Context, name string) error { return Default.CheckCtx(ctx, name) }
+
+// Injected returns a Default point's fire count.
+func Injected(name string) int { return Default.Injected(name) }
+
+// Active lists the Default registry's programmed points.
+func Active() []string { return Default.Active() }
+
+// Apply parses a spec string and programs the registry. The spec is a
+// semicolon-separated list of entries; each entry is a point name followed
+// by comma-separated options:
+//
+//	vart.run.error,p=0.1,count=20;vart.run.stall,p=0.05,delay=250ms
+//
+// Options: p=<float> probability, count=<n> fire budget, after=<n> skipped
+// hits, delay=<duration> stall latency, err[=<message>] inject an error
+// (implied when no delay is given).
+func (r *Registry) Apply(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		fields := strings.Split(entry, ",")
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			return fmt.Errorf("fault: entry %q has no point name", entry)
+		}
+		var f Fault
+		wantErr := false
+		for _, opt := range fields[1:] {
+			opt = strings.TrimSpace(opt)
+			key, val, _ := strings.Cut(opt, "=")
+			var err error
+			switch key {
+			case "p":
+				f.Prob, err = strconv.ParseFloat(val, 64)
+			case "count":
+				f.Count, err = strconv.Atoi(val)
+			case "after":
+				f.After, err = strconv.Atoi(val)
+			case "delay":
+				f.Delay, err = time.ParseDuration(val)
+			case "err":
+				wantErr = true
+				if val != "" {
+					f.Err = errors.New(val)
+				}
+			default:
+				return fmt.Errorf("fault: point %s: unknown option %q", name, opt)
+			}
+			if err != nil {
+				return fmt.Errorf("fault: point %s: bad option %q: %v", name, opt, err)
+			}
+		}
+		if wantErr && f.Err == nil {
+			f.Err = ErrInjected
+		}
+		if f.Delay > 0 && !wantErr {
+			f.Err = nil // pure stall unless an error was asked for
+		}
+		r.Enable(name, f)
+	}
+	return nil
+}
+
+// Apply programs the Default registry from a spec string.
+func Apply(spec string) error { return Default.Apply(spec) }

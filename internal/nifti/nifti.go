@@ -15,6 +15,8 @@ import (
 	"math"
 	"os"
 	"strings"
+
+	"seneca/internal/fault"
 )
 
 // Datatype codes from the NIfTI-1 standard (the subset we support).
@@ -209,6 +211,11 @@ func clamp(f, lo, hi float32) float32 {
 // by the bytes actually present in r (plus the MaxVoxels cap), not by what
 // the header declares.
 func Read(r io.Reader) (*Volume, error) {
+	// Chaos seam: a decode failure (torn upload, bad media) for resilience
+	// tests of the tiers that parse untrusted volumes.
+	if err := fault.Check("nifti.read"); err != nil {
+		return nil, err
+	}
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		gz, err := gzip.NewReader(br)

@@ -1,27 +1,20 @@
 package serve
 
 import (
-	"sync/atomic"
+	"fmt"
 	"time"
 
 	"seneca/internal/tensor"
 	"seneca/internal/vart"
 )
 
-// worker wraps one pooled runner with its load counters.
-type worker struct {
-	id       int
-	runner   *vart.Runner
-	inflight atomic.Int32
-	batches  atomic.Int64
-}
-
 // batchLoop is the heart of the serving tier: it pulls admitted jobs off
 // the queue, coalesces them into micro-batches, and dispatches each batch
-// to the least-loaded runner. Dispatch capacity is bounded by the slot
-// semaphore (Runners × Pipeline tokens): when every runner is saturated
-// the loop blocks here, the queue fills behind it, and Submit starts
-// rejecting — that is the explicit backpressure path.
+// to a claimed worker (the least-loaded healthy one, or a half-open probe
+// when none is healthy — see claimWorker). Dispatch capacity is bounded by
+// the slot semaphore (Runners × Pipeline tokens): when every runner is
+// saturated the loop blocks here, the queue fills behind it, and Submit
+// starts rejecting — that is the explicit backpressure path.
 func (s *Server) batchLoop() {
 	defer s.batcher.Done()
 	for {
@@ -50,37 +43,27 @@ func (s *Server) batchLoop() {
 		}
 
 		<-s.slots // backpressure point: wait for runner capacity
-		w := s.leastLoaded()
+		w := s.claimWorker()
 		w.inflight.Add(1)
 		s.inflight.Add(1)
 		go func(batch []*job, w *worker) {
-			defer func() {
-				w.inflight.Add(-1)
-				s.slots <- struct{}{}
-				s.inflight.Done()
-			}()
-			s.execute(w, batch)
+			defer s.inflight.Done()
+			s.dispatch(w, batch)
 		}(batch, w)
 	}
 }
 
-// leastLoaded picks the runner with the fewest in-flight batches. With
-// Pipeline 1 this is always an idle runner; with deeper pipelines it
-// spreads overlap evenly.
-func (s *Server) leastLoaded() *worker {
-	best := s.pool[0]
-	for _, w := range s.pool[1:] {
-		if w.inflight.Load() < best.inflight.Load() {
-			best = w
-		}
-	}
-	return best
-}
+// dispatch runs one micro-batch on a claimed worker under the watchdog:
+// expired jobs are failed without touching the accelerator, the rest
+// execute functionally (bit-accurate INT8) while the discrete-event model
+// prices the batch. A batch that errors or outlives WatchdogTimeout counts
+// against the worker's breaker and its jobs go back through the queue for
+// another runner (failOrRedispatch), so clients only observe an error once
+// a job's redispatch budget is spent.
+func (s *Server) dispatch(w *worker, batch []*job) {
+	defer func() { s.slots <- struct{}{} }()
+	defer w.inflight.Add(-1)
 
-// execute runs one micro-batch on one runner: expired jobs are failed
-// without touching the accelerator, the rest execute functionally
-// (bit-accurate INT8) while the discrete-event model prices the batch.
-func (s *Server) execute(w *worker, batch []*job) {
 	live := make([]*job, 0, len(batch))
 	for _, j := range batch {
 		if err := j.ctx.Err(); err != nil {
@@ -91,6 +74,7 @@ func (s *Server) execute(w *worker, batch []*job) {
 		live = append(live, j)
 	}
 	if len(live) == 0 {
+		w.releaseClaim() // a half-open probe that never ran stays claimable
 		return
 	}
 	imgs := make([]*tensor.Tensor, len(live))
@@ -101,23 +85,80 @@ func (s *Server) execute(w *worker, batch []*job) {
 	if seed != 0 {
 		seed += s.seq.Add(1)
 	}
-	masks, res, err := w.runner.Run(imgs, seed)
+
+	// The runner executes in an inner goroutine that reports on a buffered
+	// channel; this goroutine keeps sole ownership of the jobs and decides
+	// between the result and the watchdog deadline. A stalled runner's late
+	// result is simply never read — the runner itself has already been
+	// evicted by recordFailure, so nothing dispatches to it again.
+	type runOut struct {
+		masks [][]uint8
+		res   vart.Result
+		err   error
+	}
+	runner := w.getRunner()
+	ch := make(chan runOut, 1)
+	go func() {
+		masks, res, err := runner.Run(imgs, seed)
+		ch <- runOut{masks: masks, res: res, err: err}
+	}()
+	var out runOut
+	watchdog := time.NewTimer(s.cfg.WatchdogTimeout)
+	select {
+	case out = <-ch:
+		watchdog.Stop()
+	case <-watchdog.C:
+		s.stats.watchdog.Add(1)
+		out.err = ErrStalled
+	}
 	w.batches.Add(1)
-	if err != nil {
-		s.stats.failed.Add(uint64(len(live)))
-		for _, j := range live {
-			j.done <- outcome{err: err}
-		}
+	if out.err != nil {
+		w.recordFailure(s)
+		s.failOrRedispatch(live, out.err)
 		return
 	}
-	s.stats.recordBatch(len(live), res)
+	w.recordSuccess()
+	s.stats.recordBatch(len(live), out.res)
 	s.mOccupancy.Observe(float64(len(live)))
 	now := time.Now()
 	for i, j := range live {
 		lat := now.Sub(j.accepted)
 		s.stats.lat.record(lat)
 		s.mLatency.Observe(lat.Seconds())
-		j.done <- outcome{mask: masks[i], batch: len(live)}
+		j.done <- outcome{mask: out.masks[i], batch: len(live)}
 	}
 	s.stats.completed.Add(uint64(len(live)))
+}
+
+// failOrRedispatch returns a failed batch's jobs to the admission queue so
+// a (different, or freshly replaced) runner retries them transparently. A
+// job fails to its client only when its redispatch budget is spent, the
+// queue is full, or the server is draining (batchLoop is exiting, so a
+// re-queued job could be stranded).
+func (s *Server) failOrRedispatch(jobs []*job, cause error) {
+	for _, j := range jobs {
+		j.redispatches++
+		if j.redispatches > s.cfg.MaxRedispatch {
+			s.stats.failed.Add(1)
+			j.done <- outcome{err: fmt.Errorf("serve: request failed after %d attempts: %w", j.redispatches, cause)}
+			continue
+		}
+		s.mu.RLock()
+		if s.closing {
+			s.mu.RUnlock()
+			s.stats.failed.Add(1)
+			j.done <- outcome{err: cause}
+			continue
+		}
+		select {
+		case s.queue <- j:
+			s.stats.redispatched.Add(1)
+			s.stats.depth.Add(1)
+			s.mu.RUnlock()
+		default:
+			s.mu.RUnlock()
+			s.stats.failed.Add(1)
+			j.done <- outcome{err: cause}
+		}
+	}
 }

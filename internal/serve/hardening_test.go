@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestBodyCap413 pins the upload-size guardrail: a body over
+// Config.MaxBodyBytes is rejected with 413, an in-cap but wrong-sized body
+// stays a 400 (the cap must not mask shape validation).
+func TestBodyCap413(t *testing.T) {
+	s, _, _, _ := newTestServer(t, Config{Threads: 2, MaxBodyBytes: 1024})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	over := bytes.Repeat([]byte{0}, 4096)
+	resp, err := http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap body: got %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/segment", "application/octet-stream", bytes.NewReader(over[:512]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("in-cap wrong-size body: got %d, want 400", resp.StatusCode)
+	}
+
+	// JSON bodies ride the same cap.
+	big := append([]byte(`{"data":[`), bytes.Repeat([]byte("1,"), 2048)...)
+	big = append(big, []byte("1]}")...)
+	resp, err = http.Post(ts.URL+"/v1/segment", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap JSON body: got %d, want 413", resp.StatusCode)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/vart"
+)
+
+// BreakerState is one worker's circuit-breaker position.
+type BreakerState int32
+
+// Breaker states. A worker starts Closed; BreakerThreshold consecutive
+// failures trip it Open (its runner is evicted and replaced); after
+// BreakerCooldown it admits a single HalfOpen probe batch whose outcome
+// either closes the breaker or re-opens it (evicting again).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the conventional lowercase breaker-state name.
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// worker wraps one pooled runner with its load counters and health state.
+// The breaker fields are guarded by mu; the load counters stay atomics so
+// leastLoaded scans and the stats snapshot never contend with dispatch.
+type worker struct {
+	id       int
+	inflight atomic.Int32
+	batches  atomic.Int64
+
+	mu        sync.Mutex
+	runner    *vart.Runner
+	state     BreakerState
+	fails     int       // consecutive failures since the last success
+	openUntil time.Time // when an Open breaker admits its probe
+	probing   bool      // a HalfOpen probe batch is in flight
+}
+
+// getRunner returns the worker's current runner (replaced on eviction, so
+// dispatch must read it through here rather than caching it).
+func (w *worker) getRunner() *vart.Runner {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runner
+}
+
+// breaker returns the current breaker state.
+func (w *worker) breaker() BreakerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// healthy reports whether the worker serves regular traffic (breaker
+// closed). Open and half-open workers count as degraded capacity.
+func (w *worker) healthy() bool { return w.breaker() == BreakerClosed }
+
+// tryClaim attempts to reserve the worker for one batch. A Closed worker
+// always admits (Pipeline may put several batches in flight); an Open
+// worker past its cooldown transitions to HalfOpen and admits exactly one
+// probe at a time. The bool probe return marks the claim as that probe.
+func (w *worker) tryClaim(now time.Time) (ok, probe bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if now.Before(w.openUntil) {
+			return false, false
+		}
+		w.state = BreakerHalfOpen
+		w.probing = true
+		return true, true
+	case BreakerHalfOpen:
+		if w.probing {
+			return false, false
+		}
+		w.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// releaseClaim undoes a tryClaim that never executed a batch (every job in
+// it had already expired), so a half-open worker does not leak its probe.
+func (w *worker) releaseClaim() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.probing = false
+}
+
+// recordSuccess resets the failure streak and closes a half-open breaker
+// whose probe just came back healthy.
+func (w *worker) recordSuccess() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	w.probing = false
+	w.state = BreakerClosed
+}
+
+// recordFailure counts one batch failure (error or watchdog stall) and
+// returns true when it tripped the breaker open — at BreakerThreshold
+// consecutive failures from Closed, or immediately on a failed HalfOpen
+// probe. Tripping evicts the broken runner and installs a fresh one built
+// from the retained device and program, so the cooldown-then-probe cycle
+// exercises a clean runtime rather than the wedged one.
+func (w *worker) recordFailure(s *Server) (tripped bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	w.probing = false
+	switch w.state {
+	case BreakerClosed:
+		if w.fails < s.cfg.BreakerThreshold {
+			return false
+		}
+	case BreakerOpen:
+		// A straggler batch dispatched before the trip; stay open.
+		return false
+	}
+	w.state = BreakerOpen
+	w.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
+	w.runner = vart.New(s.dev, s.prog, s.cfg.Threads)
+	s.stats.evictions.Add(1)
+	return true
+}
+
+// claimWorker blocks until some worker admits a batch. An open worker
+// whose cooldown has expired takes priority — its half-open probe is the
+// only way the pool regains capacity, and the broken runner behind it has
+// already been replaced — otherwise the least-loaded closed worker takes
+// the batch. With every breaker open and cooling, it polls: capacity is
+// gone, the queue backs up behind the slot semaphore, and Submit's
+// backpressure path takes over.
+func (s *Server) claimWorker() *worker {
+	wait := s.cfg.BreakerCooldown / 16
+	if wait <= 0 || wait > 5*time.Millisecond {
+		wait = 5 * time.Millisecond
+	}
+	for {
+		now := time.Now()
+		for _, w := range s.pool {
+			if w.healthy() {
+				continue
+			}
+			if ok, probe := w.tryClaim(now); ok {
+				if probe {
+					s.stats.probes.Add(1)
+				}
+				return w
+			}
+		}
+		var best *worker
+		for _, w := range s.pool {
+			if !w.healthy() {
+				continue
+			}
+			if best == nil || w.inflight.Load() < best.inflight.Load() {
+				best = w
+			}
+		}
+		if best != nil {
+			if ok, _ := best.tryClaim(now); ok {
+				return best
+			}
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Health is a point-in-time snapshot of the pool's self-healing state, as
+// exported by GET /healthz and the chaos tests.
+type Health struct {
+	// Runners is the configured pool size, Healthy how many breakers are
+	// closed. Degraded is Healthy < Runners (the /healthz "degraded"
+	// status; the endpoint stays 200 as long as one runner is healthy).
+	Runners  int  `json:"runners"`
+	Healthy  int  `json:"healthy_runners"`
+	Degraded bool `json:"degraded"`
+	// Breakers holds each worker's breaker state, by worker id.
+	Breakers []string `json:"breakers"`
+	// Evictions counts runners replaced after tripping a breaker; Probes
+	// counts half-open probe batches; Redispatches counts jobs re-queued
+	// out of failed or stalled batches; WatchdogTimeouts counts batches
+	// reclaimed from a stalled runner.
+	Evictions        uint64 `json:"evictions"`
+	Probes           uint64 `json:"probes"`
+	Redispatches     uint64 `json:"redispatches"`
+	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
+}
+
+// Health snapshots the self-healing state of the runner pool.
+func (s *Server) Health() Health {
+	h := Health{
+		Runners:          len(s.pool),
+		Breakers:         make([]string, len(s.pool)),
+		Evictions:        s.stats.evictions.Load(),
+		Probes:           s.stats.probes.Load(),
+		Redispatches:     s.stats.redispatched.Load(),
+		WatchdogTimeouts: s.stats.watchdog.Load(),
+	}
+	for i, w := range s.pool {
+		st := w.breaker()
+		h.Breakers[i] = st.String()
+		if st == BreakerClosed {
+			h.Healthy++
+		}
+	}
+	h.Degraded = h.Healthy < h.Runners
+	return h
+}

@@ -52,7 +52,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	img, status, err := s.decodeInput(r)
+	img, status, err := s.decodeInput(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
@@ -93,7 +93,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "{\"status\":\"draining\",\"draining\":true,\"model\":%q}\n", s.prog.Name)
 		return
 	}
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"draining\":false,\"model\":%q}\n", s.prog.Name)
+	// Degraded (some breakers open) still answers 200 — the pool serves on
+	// its remaining healthy runners. Zero healthy runners is a 503: every
+	// breaker is open and cooling, so only probes will run until one closes.
+	h := s.Health()
+	status := "ok"
+	if h.Degraded {
+		status = "degraded"
+	}
+	if h.Healthy == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "{\"status\":%q,\"draining\":false,\"model\":%q,\"runners\":%d,\"healthy_runners\":%d,\"degraded\":%t}\n",
+		status, s.prog.Name, h.Runners, h.Healthy, h.Degraded)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -103,9 +115,19 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(s.Stats())
 }
 
+// statusFor maps a body-read error to its HTTP status: 413 when the
+// MaxBodyBytes cap tripped (http.MaxBytesReader), else the fallback.
+func statusFor(err error, fallback int) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return fallback
+}
+
 // decodeInput parses one request body into the model's CHW input tensor.
 // The int return is the HTTP status for the error case.
-func (s *Server) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
+func (s *Server) decodeInput(w http.ResponseWriter, r *http.Request) (*tensor.Tensor, int, error) {
 	g := s.prog.Graph
 	n := g.InC * g.InH * g.InW
 	ct := r.Header.Get("Content-Type")
@@ -114,12 +136,12 @@ func (s *Server) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
 			ct = parsed
 		}
 	}
-	body := io.LimitReader(r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	switch ct {
 	case "", "application/octet-stream":
 		buf, err := io.ReadAll(body)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, statusFor(err, http.StatusBadRequest), err
 		}
 		if len(buf) != 4*n {
 			return nil, http.StatusBadRequest,
@@ -136,7 +158,7 @@ func (s *Server) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
 			Data []float32 `json:"data"`
 		}
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("serve: bad JSON body: %w", err)
+			return nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("serve: bad JSON body: %w", err)
 		}
 		if len(req.Data) != n {
 			return nil, http.StatusBadRequest,
@@ -151,7 +173,7 @@ func (s *Server) decodeInput(r *http.Request) (*tensor.Tensor, int, error) {
 		}
 		vol, err := nifti.Read(body)
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("serve: bad NIfTI body: %w", err)
+			return nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("serve: bad NIfTI body: %w", err)
 		}
 		if vol.Nx != g.InW || vol.Ny != g.InH {
 			return nil, http.StatusBadRequest,

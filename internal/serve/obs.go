@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"strconv"
+
 	"seneca/internal/obs"
 )
 
@@ -48,6 +50,39 @@ func (s *Server) initMetrics(reg *obs.Registry) {
 	reg.CounterFunc("seneca_serve_frames_total",
 		"Frames completed across all batches (summed batch occupancy).",
 		s.stats.frames.Load)
+
+	// Self-healing series: pool health, per-worker breaker position, and
+	// the recovery counters (see health.go and the chaos tests).
+	reg.GaugeFunc("seneca_serve_healthy_runners",
+		"Runners whose circuit breaker is closed (serving regular traffic).",
+		func() float64 {
+			n := 0
+			for _, w := range s.pool {
+				if w.healthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for _, w := range s.pool {
+		w := w
+		reg.GaugeFunc("seneca_serve_breaker_state",
+			"Per-worker breaker state: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(w.breaker()) },
+			obs.L("worker", strconv.Itoa(w.id)))
+	}
+	reg.CounterFunc("seneca_serve_runner_evictions_total",
+		"Runners evicted and replaced after tripping their breaker.",
+		s.stats.evictions.Load)
+	reg.CounterFunc("seneca_serve_breaker_probes_total",
+		"Half-open probe batches sent to recovering runners.",
+		s.stats.probes.Load)
+	reg.CounterFunc("seneca_serve_redispatches_total",
+		"Jobs transparently re-queued out of failed or stalled batches.",
+		s.stats.redispatched.Load)
+	reg.CounterFunc("seneca_serve_watchdog_timeouts_total",
+		"Batches reclaimed from a runner that stalled past WatchdogTimeout.",
+		s.stats.watchdog.Load)
 
 	s.mLatency = reg.Histogram("seneca_serve_request_latency_seconds",
 		"End-to-end request latency from admission to completion.",

@@ -66,6 +66,25 @@ type Config struct {
 	Timeout time.Duration
 	// Seed controls simulated measurement jitter (0 = deterministic).
 	Seed int64
+	// BreakerThreshold is how many consecutive batch failures trip one
+	// runner's circuit breaker: the runner is evicted, a fresh one is built
+	// from the retained device and program, and the breaker opens for
+	// BreakerCooldown before a half-open probe. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects traffic before
+	// admitting a single half-open probe batch. Default 500ms.
+	BreakerCooldown time.Duration
+	// WatchdogTimeout bounds one batch's execution on a runner; past it the
+	// batch is reclaimed (jobs re-queued) and the stall counts as a breaker
+	// failure. Default 30s.
+	WatchdogTimeout time.Duration
+	// MaxRedispatch is how many times one job may ride a failed or stalled
+	// batch back into the queue before its error surfaces to the client.
+	// Default 3.
+	MaxRedispatch int
+	// MaxBodyBytes caps HTTP request bodies; an over-cap upload is rejected
+	// with 413. Default 256 MiB.
+	MaxBodyBytes int64
 	// Metrics is the observability registry the server reports into (and
 	// that GET /metrics serves). nil gives the server a private registry;
 	// pass obs.Default to merge the serving series with the pipeline
@@ -92,6 +111,21 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.WatchdogTimeout <= 0 {
+		c.WatchdogTimeout = 30 * time.Second
+	}
+	if c.MaxRedispatch <= 0 {
+		c.MaxRedispatch = 3
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = maxBodyBytes
+	}
 	return c
 }
 
@@ -106,6 +140,10 @@ var (
 	// ErrClosing is the original name of ErrDraining, kept as an alias so
 	// errors.Is checks written against either name keep passing.
 	ErrClosing = ErrDraining
+	// ErrStalled reports that a runner held a batch past WatchdogTimeout.
+	// The batch is reclaimed and its jobs re-dispatched; clients only see
+	// this error once a job's redispatch budget is spent.
+	ErrStalled = errors.New("serve: runner stalled past the watchdog deadline")
 )
 
 // Server is the micro-batching inference service over one compiled
@@ -141,6 +179,10 @@ type job struct {
 	img      *tensor.Tensor
 	accepted time.Time
 	done     chan outcome
+	// redispatches counts how many failed or stalled batches this job has
+	// ridden. Only the goroutine currently owning the job touches it (the
+	// queue handoff orders the accesses), so it needs no atomics.
+	redispatches int
 }
 
 // outcome is the terminal state of a job.

@@ -26,6 +26,14 @@ type stats struct {
 	frames    atomic.Uint64 // completed frames, i.e. summed batch occupancy
 	depth     atomic.Int64  // current queue depth
 
+	// Self-healing counters (see health.go): runners replaced after a
+	// breaker trip, half-open probe batches, jobs re-queued out of failed
+	// batches, and batches reclaimed by the watchdog.
+	evictions    atomic.Uint64
+	probes       atomic.Uint64
+	redispatched atomic.Uint64
+	watchdog     atomic.Uint64
+
 	lat latWindow
 
 	mu        sync.Mutex
@@ -105,6 +113,12 @@ type Stats struct {
 	Batches   uint64  `json:"batches"`
 	MeanBatch float64 `json:"mean_batch_occupancy"`
 
+	HealthyRunners   int    `json:"healthy_runners"`
+	Evictions        uint64 `json:"evictions"`
+	Probes           uint64 `json:"probes"`
+	Redispatches     uint64 `json:"redispatches"`
+	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
+
 	P50LatencyMS float64 `json:"p50_latency_ms"`
 	P99LatencyMS float64 `json:"p99_latency_ms"`
 
@@ -132,9 +146,17 @@ func (s *Server) Stats() Stats {
 		Expired:    s.stats.expired.Load(),
 		Failed:     s.stats.failed.Load(),
 		Batches:    s.stats.batches.Load(),
+
+		Evictions:        s.stats.evictions.Load(),
+		Probes:           s.stats.probes.Load(),
+		Redispatches:     s.stats.redispatched.Load(),
+		WatchdogTimeouts: s.stats.watchdog.Load(),
 	}
 	for _, w := range s.pool {
 		st.InFlight += int(w.inflight.Load())
+		if w.healthy() {
+			st.HealthyRunners++
+		}
 	}
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.stats.frames.Load()) / float64(st.Batches)

@@ -1,0 +1,87 @@
+package study
+
+import (
+	"testing"
+	"time"
+
+	"seneca/internal/fault"
+)
+
+// TestBackoffJitterDeterministic pins the retry-backoff contract: doubling
+// from RetryBackoff, ±25% jitter, and a jitter stream that replays exactly
+// for a given Config.Seed (chaos runs must be reproducible).
+func TestBackoffJitterDeterministic(t *testing.T) {
+	mk := func(seed int64) *Service {
+		seg := testSegmenter(t)
+		s, err := New(seg, Config{Dir: t.TempDir(), Seed: seed, RetryBackoff: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	var sameAsA, sameAsC bool = true, true
+	for attempt := 1; attempt <= 8; attempt++ {
+		base := 100 * time.Millisecond << (attempt - 1)
+		da, db, dc := a.backoff(attempt), b.backoff(attempt), c.backoff(attempt)
+		if da < time.Duration(0.75*float64(base)) || da > time.Duration(1.25*float64(base)) {
+			t.Errorf("attempt %d: backoff %v outside ±25%% of %v", attempt, da, base)
+		}
+		sameAsA = sameAsA && da == db
+		sameAsC = sameAsC && da == dc
+	}
+	if !sameAsA {
+		t.Error("same seed produced different jitter streams")
+	}
+	if sameAsC {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+// TestCloseInterruptsBackoff submits a job whose first stage always fails,
+// configured with a backoff far longer than the test: Close must interrupt
+// the sleeping retry instead of waiting it out.
+func TestCloseInterruptsBackoff(t *testing.T) {
+	fault.Enable("study.stage.ingest", fault.Error(1, nil))
+	t.Cleanup(fault.Reset)
+
+	seg := testSegmenter(t)
+	s, err := New(seg, Config{
+		Dir:          t.TempDir(),
+		RetryBackoff: time.Minute,
+		MaxAttempts:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := testVolume(t, 1)
+	id, err := s.SubmitVolume(vol.CT, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first (faulted) attempt is recorded, i.e. the worker
+	// is inside the minute-long backoff before attempt two.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, ok := s.st.Get(id); ok && j.Attempts[string(StageIngest)] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first ingest attempt never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Close took %v, should interrupt the 1m backoff immediately", d)
+	}
+	// The interrupted job stays resumable, not failed.
+	j, _ := s.st.Get(id)
+	if j.Terminal() {
+		t.Errorf("job reached %s during shutdown; want it left resumable", j.State)
+	}
+}

@@ -1,0 +1,83 @@
+package study
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"seneca/internal/fault"
+	"seneca/internal/nifti"
+)
+
+// TestChaosStudyPipelineRecovers runs one whole-volume job through a seeded
+// fault program that breaks the decoder, the blob store and a whole stage —
+// every failure inside the per-stage retry budget — and requires the job to
+// finish with a mask bit-identical to the fault-free synchronous path.
+func TestChaosStudyPipelineRecovers(t *testing.T) {
+	srv := testSegmenter(t)
+	vol := testVolume(t, 3)
+	golden := syncMasks(t, srv, vol.CT)
+
+	s, err := New(srv, Config{
+		Dir:          t.TempDir(),
+		MaxAttempts:  4,
+		RetryBackoff: 5 * time.Millisecond,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Count-capped, deterministic for a single job:
+	//   nifti.read        ingest attempts 1 and 2 fail, attempt 3 reads
+	//   study.blob.write  After skips the submission's input-blob write;
+	//                     preprocess attempts 1 and 2 fail, attempt 3 lands
+	//   study.stage.infer infer attempt 1 dies before running
+	//   study.blob.read   infer attempt 2 cannot read its input; attempt 3
+	//                     runs clean
+	fault.Seed(42)
+	fault.Enable("nifti.read", fault.Fault{Prob: 1, Count: 2})
+	fault.Enable("study.blob.write", fault.Fault{Prob: 1, Count: 2, After: 1})
+	fault.Enable("study.stage.infer", fault.Fault{Prob: 1, Count: 1})
+	fault.Enable("study.blob.read", fault.Fault{Prob: 1, Count: 1})
+	t.Cleanup(fault.Reset)
+
+	id, err := s.SubmitVolume(vol.CT, nil, Options{Postprocess: false})
+	if err != nil {
+		t.Fatalf("submission must not be faulted (After skips its write): %v", err)
+	}
+	j := waitTerminal(t, s.st, id, 60*time.Second)
+	if j.State != StateDone {
+		t.Fatalf("job %s: state %s, error %q", id, j.State, j.Error)
+	}
+
+	// Every programmed fault must actually have fired...
+	for point, want := range map[string]int{
+		"nifti.read": 2, "study.blob.write": 2,
+		"study.stage.infer": 1, "study.blob.read": 1,
+	} {
+		if got := fault.Injected(point); got != want {
+			t.Errorf("%s: injected %d times, programmed %d", point, got, want)
+		}
+	}
+	// ...and the retries that absorbed them are on the record.
+	if j.Attempts[string(StageIngest)] != 3 {
+		t.Errorf("ingest attempts = %d, want 3", j.Attempts[string(StageIngest)])
+	}
+	if j.Attempts[string(StagePreprocess)] != 3 {
+		t.Errorf("preprocess attempts = %d, want 3", j.Attempts[string(StagePreprocess)])
+	}
+	if j.Attempts[string(StageInfer)] != 3 {
+		t.Errorf("infer attempts = %d, want 3", j.Attempts[string(StageInfer)])
+	}
+
+	// The output survived the chaos bit-for-bit.
+	mv, err := nifti.ReadFile(s.st.MaskPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := volumeLabels(mv); !bytes.Equal(got, golden) {
+		t.Error("chaos-run mask diverges from the fault-free synchronous path")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"time"
 
+	"seneca/internal/fault"
 	"seneca/internal/nifti"
 )
 
@@ -38,6 +40,10 @@ type Service struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// rng drives retry-backoff jitter; seeded so chaos runs replay.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	start time.Time
 	obsHandles
@@ -71,6 +77,7 @@ func New(seg Segmenter, cfg Config) (*Service, error) {
 		queue:  make(chan string, cfg.QueueDepth+len(resume)),
 		ctx:    ctx,
 		cancel: cancel,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		start:  time.Now(),
 	}
 	s.initMetrics(cfg.Metrics)
@@ -207,17 +214,32 @@ func (s *Service) runJob(id string) {
 	s.mJobsDone.Inc()
 }
 
-// runStage executes one stage with retry and exponential backoff.
+// backoff returns the wait before retry attempt (1-based): exponential
+// doubling from Config.RetryBackoff with ±25% jitter, so retry storms
+// across workers decorrelate. The jitter draws from the service's seeded
+// RNG, keeping chaos runs reproducible.
+func (s *Service) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBackoff << (attempt - 1)
+	s.rngMu.Lock()
+	f := 0.75 + 0.5*s.rng.Float64()
+	s.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// runStage executes one stage with retry and jittered exponential backoff.
+// Backoff waits select on the service context, so Close never waits out a
+// sleeping retry.
 func (s *Service) runStage(id string, stage Stage) error {
 	fn := s.stageFunc(stage)
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			s.mRetries[stage].Inc()
-			backoff := s.cfg.RetryBackoff << (attempt - 1)
+			t := time.NewTimer(s.backoff(attempt))
 			select {
-			case <-time.After(backoff):
+			case <-t.C:
 			case <-s.ctx.Done():
+				t.Stop()
 				return s.ctx.Err()
 			}
 		}
@@ -228,7 +250,12 @@ func (s *Service) runStage(id string, stage Stage) error {
 			j.Attempts[string(stage)]++
 		})
 		begin := time.Now()
-		err := fn(s.ctx, id)
+		// Chaos seam: a whole-stage failure ("study.stage.infer" etc.)
+		// exercises the retry/backoff path without faulting a deeper layer.
+		err := fault.CheckCtx(s.ctx, "study.stage."+string(stage))
+		if err == nil {
+			err = fn(s.ctx, id)
+		}
 		s.mStageDur[stage].Observe(time.Since(begin).Seconds())
 		if err == nil {
 			return nil

@@ -1,0 +1,45 @@
+package study
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"seneca/internal/nifti"
+)
+
+// TestVolumeBodyCap413 pins the upload guardrail on the volume API: a body
+// over Config.MaxBodyBytes is rejected with 413 before any job is created.
+func TestVolumeBodyCap413(t *testing.T) {
+	seg := testSegmenter(t)
+	s, err := New(seg, Config{Dir: t.TempDir(), MaxBodyBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A well-formed NIfTI volume whose serialization exceeds the cap: the
+	// decoder gets past the header and trips MaxBytesReader mid-voxels, so
+	// the 413 must survive the nifti error wrapping.
+	var over bytes.Buffer
+	if err := nifti.Write(&over, testVolume(t, 1).CT); err != nil {
+		t.Fatal(err)
+	}
+	if over.Len() <= 2048 {
+		t.Fatalf("test volume serializes to %d bytes, need > cap", over.Len())
+	}
+	resp, err := http.Post(ts.URL+"/v1/volumes", "application/x-nifti", &over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap volume: got %d, want 413", resp.StatusCode)
+	}
+	if n := len(s.st.List()); n != 0 {
+		t.Fatalf("rejected upload still created %d job(s)", n)
+	}
+}

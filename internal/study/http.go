@@ -48,7 +48,7 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	ct, truth, status, err := decodeVolumes(r)
+	ct, truth, status, err := s.decodeVolumes(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
@@ -73,28 +73,40 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"id\":%q,\"status_url\":\"/v1/volumes/%s\"}\n", id, id)
 }
 
+// statusFor maps a body-read error to its HTTP status: 413 when the
+// MaxBodyBytes cap tripped (http.MaxBytesReader), else the fallback.
+func statusFor(err error, fallback int) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return fallback
+}
+
 // decodeVolumes parses the submission body into CT (+ optional truth)
-// volumes. The int return is the HTTP status for the error case.
-func decodeVolumes(r *http.Request) (ct, truth *nifti.Volume, status int, err error) {
+// volumes. The int return is the HTTP status for the error case. The body
+// (all parts included, for multipart) is capped at Config.MaxBodyBytes;
+// over-cap uploads map to 413.
+func (s *Service) decodeVolumes(w http.ResponseWriter, r *http.Request) (ct, truth *nifti.Volume, status int, err error) {
 	mediatype := r.Header.Get("Content-Type")
 	if mediatype != "" {
 		if parsed, _, perr := mime.ParseMediaType(mediatype); perr == nil {
 			mediatype = parsed
 		}
 	}
-	body := io.LimitReader(r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	switch mediatype {
 	case "", "application/octet-stream", "application/x-nifti", "application/nifti", "application/gzip":
-		ct, err = nifti.Read(body)
+		ct, err = nifti.Read(r.Body)
 		if err != nil {
-			return nil, nil, http.StatusBadRequest, fmt.Errorf("study: bad NIfTI body: %w", err)
+			return nil, nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("study: bad NIfTI body: %w", err)
 		}
 		return ct, nil, 0, nil
 
 	case "multipart/form-data":
 		mr, err := r.MultipartReader()
 		if err != nil {
-			return nil, nil, http.StatusBadRequest, fmt.Errorf("study: bad multipart body: %w", err)
+			return nil, nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("study: bad multipart body: %w", err)
 		}
 		for {
 			part, err := mr.NextPart()
@@ -102,19 +114,19 @@ func decodeVolumes(r *http.Request) (ct, truth *nifti.Volume, status int, err er
 				break
 			}
 			if err != nil {
-				return nil, nil, http.StatusBadRequest, fmt.Errorf("study: reading multipart body: %w", err)
+				return nil, nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("study: reading multipart body: %w", err)
 			}
 			switch part.FormName() {
 			case "ct":
-				ct, err = nifti.Read(io.LimitReader(part, maxBodyBytes))
+				ct, err = nifti.Read(part)
 			case "gt":
-				truth, err = nifti.Read(io.LimitReader(part, maxBodyBytes))
+				truth, err = nifti.Read(part)
 			default:
 				err = fmt.Errorf("study: unknown multipart field %q (want ct, gt)", part.FormName())
 			}
 			part.Close()
 			if err != nil {
-				return nil, nil, http.StatusBadRequest, err
+				return nil, nil, statusFor(err, http.StatusBadRequest), err
 			}
 		}
 		if ct == nil {

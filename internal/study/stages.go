@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seneca/internal/fault"
 	"seneca/internal/imaging"
 	"seneca/internal/metrics"
 	"seneca/internal/nifti"
@@ -20,6 +21,10 @@ import (
 // rename, so stage outputs appear on disk all-or-nothing — a crashed stage
 // leaves either its complete artifact or nothing, never a torn file.
 func writeBlobAtomic(path string, fill func(*os.File) error) error {
+	// Chaos seam: a stage-artifact write that fails like a full disk.
+	if err := fault.Check("study.blob.write"); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -39,6 +44,15 @@ func writeBlobAtomic(path string, fill func(*os.File) error) error {
 		return err
 	}
 	return nil
+}
+
+// readBlob reads one stage artifact, behind the "study.blob.read" chaos
+// seam (an I/O error on a durable intermediate).
+func readBlob(path string) ([]byte, error) {
+	if err := fault.Check("study.blob.read"); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
 }
 
 // preprocessSlice applies the SENECA input pipeline (Section III-A) to one
@@ -112,7 +126,7 @@ func (s *Service) stageInfer(ctx context.Context, id string) error {
 		return fmt.Errorf("job disappeared")
 	}
 	h, w := s.inH, s.inW
-	raw, err := os.ReadFile(s.st.PrePath(id))
+	raw, err := readBlob(s.st.PrePath(id))
 	if err != nil {
 		return fmt.Errorf("reading preprocessed slices: %w", err)
 	}
@@ -187,7 +201,7 @@ func (s *Service) stageReassemble(ctx context.Context, id string) error {
 		return fmt.Errorf("job disappeared")
 	}
 	h, w := s.inH, s.inW
-	masks, err := os.ReadFile(s.st.SliceMaskPath(id))
+	masks, err := readBlob(s.st.SliceMaskPath(id))
 	if err != nil {
 		return fmt.Errorf("reading slice masks: %w", err)
 	}

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"seneca/internal/fault"
 )
 
 // Store is the durable job store: one JSON record per job under dir/jobs,
@@ -111,6 +113,10 @@ func (st *Store) newID() (string, error) {
 
 // persistLocked writes the record atomically. Callers hold st.mu.
 func (st *Store) persistLocked(j *Job) error {
+	// Chaos seam: a record write that fails like a full or flaky disk.
+	if err := fault.Check("study.store.persist"); err != nil {
+		return err
+	}
 	raw, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
 		return fmt.Errorf("study: marshaling job %s: %w", j.ID, err)

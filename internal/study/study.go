@@ -73,6 +73,12 @@ type Config struct {
 	// QueueDepth bounds the number of jobs waiting for a worker; beyond it
 	// submissions are rejected with ErrQueueFull. Default 64.
 	QueueDepth int
+	// Seed drives the retry-backoff jitter (deterministic per seed).
+	// Default 1.
+	Seed int64
+	// MaxBodyBytes caps uploaded volume bodies on the HTTP API; an
+	// over-cap upload is rejected with 413. Default 256 MiB.
+	MaxBodyBytes int64
 	// Metrics is the observability registry the service reports into. nil
 	// gives the service a private registry.
 	Metrics *obs.Registry
@@ -93,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = maxBodyBytes
 	}
 	return c
 }

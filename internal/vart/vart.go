@@ -20,6 +20,7 @@ import (
 
 	"seneca/internal/dpu"
 	"seneca/internal/energy"
+	"seneca/internal/fault"
 	"seneca/internal/obs"
 	"seneca/internal/tensor"
 	"seneca/internal/xmodel"
@@ -181,6 +182,16 @@ func (r *Runner) simulate(frames int, seed int64, record func(jobTiming)) (Resul
 func (r *Runner) Run(images []*tensor.Tensor, seed int64) ([][]uint8, Result, error) {
 	if r.Threads < 1 {
 		return nil, Result{}, ErrNoThreads
+	}
+	// Chaos seams: "vart.run.stall" models a hung runtime (the batch
+	// blocks here past any serving-tier watchdog), "vart.run.error" a
+	// runtime that dies mid-batch. Both are no-ops unless a fault program
+	// armed them (one atomic load).
+	if err := fault.Check("vart.run.stall"); err != nil {
+		return nil, Result{}, err
+	}
+	if err := fault.Check("vart.run.error"); err != nil {
+		return nil, Result{}, err
 	}
 	masks := make([][]uint8, len(images))
 	errs := make([]error, len(images))

@@ -36,6 +36,7 @@ import (
 	"seneca/internal/ctorg"
 	"seneca/internal/dpu"
 	"seneca/internal/experiments"
+	"seneca/internal/fault"
 	"seneca/internal/gpusim"
 	"seneca/internal/metrics"
 	"seneca/internal/nifti"
@@ -121,6 +122,14 @@ type (
 	VolumeReport = study.Report
 	// OrganReport is one organ's row of a VolumeReport.
 	OrganReport = study.OrganReport
+	// Fault programs one named injection point for chaos testing (see
+	// internal/fault and the README's fault-point table).
+	Fault = fault.Fault
+	// FaultRegistry is a set of named, seeded fault-injection points.
+	FaultRegistry = fault.Registry
+	// ServerHealth is the self-healing snapshot of the serving tier's
+	// runner pool (breaker states, evictions, redispatches).
+	ServerHealth = serve.Health
 )
 
 // Calibration and quantization mode constants.
@@ -258,3 +267,23 @@ func Metrics() *MetricsRegistry { return obs.Default }
 // NewMetricsRegistry returns an empty private registry, for callers that
 // want per-run isolation instead of the shared default.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EnableFault programs one injection point on the process-wide fault
+// registry (chaos testing: vart.run.error, study.blob.write, ...). Every
+// injection increments seneca_fault_injected_total{point=...} on Metrics().
+func EnableFault(point string, f Fault) { fault.Enable(point, f) }
+
+// ApplyFaults programs the process-wide registry from a compact spec, e.g.
+// "vart.run.error,p=0.05,count=10;nifti.read,p=0.01" (the cmd binaries'
+// -faults flag syntax).
+func ApplyFaults(spec string) error { return fault.Apply(spec) }
+
+// SeedFaults reseeds the fault registry's RNG so probabilistic chaos runs
+// replay deterministically.
+func SeedFaults(seed int64) { fault.Seed(seed) }
+
+// ResetFaults clears every programmed fault point.
+func ResetFaults() { fault.Reset() }
+
+// FaultsInjected reports how many times a point has fired.
+func FaultsInjected(point string) int { return fault.Injected(point) }
