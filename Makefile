@@ -4,8 +4,8 @@ GO ?= go
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR5.json
-BENCH_BASELINE   = BENCH_PR4.json
+BENCH_SNAPSHOT   = BENCH_PR6.json
+BENCH_BASELINE   = BENCH_PR5.json
 
 .PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz chaos
 
@@ -42,10 +42,11 @@ bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # chaos runs the fault-injection resilience tests under the race detector:
-# runners killed and stalled mid-load must never produce a wrong or lost
-# response (see README "Resilience & fault injection").
+# runners killed and stalled mid-load — and, at the fleet tier, whole nodes
+# ejected mid-burst — must never produce a wrong or lost response (see
+# README "Resilience & fault injection").
 chaos:
-	$(GO) test -race -count=1 -run Chaos ./internal/serve/ ./internal/study/
+	$(GO) test -race -count=1 -run Chaos ./internal/serve/ ./internal/study/ ./internal/cluster/
 
 # fuzz exercises the binary-format parsers beyond their committed corpora.
 fuzz:

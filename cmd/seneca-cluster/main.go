@@ -1,0 +1,189 @@
+// Command seneca-cluster runs the sharded serving fleet: an HTTP front
+// door spreading segmentation traffic across a fleet of in-process serving
+// replicas — each modelling one deployed ZCU104 board with its own runner
+// pool, admission queue and breakers — with pluggable placement,
+// two-tier priority admission (interactive preempts batch), queue-driven
+// autoscaling between -min-nodes and -max-nodes, per-node health ejection
+// and cluster-wide load shedding (429 + Retry-After).
+//
+// Usage:
+//
+//	seneca-cluster -addr :8080 -min-nodes 1 -max-nodes 4
+//	seneca-cluster -placement hash             # key-affine routing via X-Seneca-Key
+//	seneca-cluster -xmodel 1m.xmodel -runners 2 -threads 4
+//
+// With no -xmodel it serves a small built-in demo network, like
+// seneca-serve. Endpoints: POST /v1/segment (X-Seneca-Tier, X-Seneca-Key),
+// GET /healthz, GET /statz, GET /metrics, POST /v1/admin/rolling-restart.
+// SIGINT/SIGTERM drains the whole fleet gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seneca/internal/cluster"
+	"seneca/internal/dpu"
+	"seneca/internal/fault"
+	"seneca/internal/obs"
+	"seneca/internal/quant"
+	"seneca/internal/serve"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+func main() {
+	xmodelPath := flag.String("xmodel", "", "compiled xmodel (empty: built-in demo network)")
+	addr := flag.String("addr", ":8080", "listen address")
+	size := flag.Int("size", 64, "demo network input size (only without -xmodel)")
+
+	minNodes := flag.Int("min-nodes", 1, "fleet floor (and startup size)")
+	maxNodes := flag.Int("max-nodes", 4, "fleet ceiling")
+	placement := flag.String("placement", "least-loaded", `placement policy: "least-loaded" or "hash"`)
+	highWater := flag.Float64("high-water", 0.75, "aggregate load fraction that spawns a node when sustained")
+	lowWater := flag.Float64("low-water", 0.10, "aggregate load fraction that retires a node when sustained")
+	sustain := flag.Duration("sustain", 250*time.Millisecond, "how long a water mark must hold before scaling")
+	cooldown := flag.Duration("scale-cooldown", time.Second, "minimum gap between scaling actions")
+	batchWater := flag.Float64("batch-water", 0.5, "per-node queue fraction batch traffic may occupy")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive dispatch failures that eject a node")
+	ejectCooldown := flag.Duration("eject-cooldown", 500*time.Millisecond, "ejected-node cooldown before a probe")
+	attempts := flag.Int("attempts", 3, "nodes one request may be dispatched to before erroring")
+
+	runners := flag.Int("runners", 1, "runner pool size per node")
+	threads := flag.Int("threads", 4, "host threads per runner (paper deploys 4)")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap per node")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch coalescing window")
+	queue := flag.Int("queue", 64, "admission queue depth per node")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	simPace := flag.Float64("sim-pace", 0, "pace batches to N× their simulated board time (0 = run at host speed)")
+	maxBody := flag.Int64("max-body", 256<<20, "request body cap in bytes (413 beyond it)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "cluster.node.dispatch,p=0.01" (chaos testing)`)
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	flag.Parse()
+
+	lg := obs.SetupDefault("seneca-cluster", obs.ParseLevel(*logLevel))
+	if *faults != "" {
+		if err := fault.Apply(*faults); err != nil {
+			lg.Error("bad -faults spec", "err", err)
+			os.Exit(1)
+		}
+		fault.Seed(*seed)
+		lg.Warn("fault injection armed", "points", fault.Active())
+	}
+
+	var prog *xmodel.Program
+	var err error
+	if *xmodelPath != "" {
+		prog, err = xmodel.ReadFile(*xmodelPath)
+		if err != nil {
+			lg.Error("loading xmodel", "path", *xmodelPath, "err", err)
+			os.Exit(1)
+		}
+	} else {
+		prog, err = demoProgram(*size)
+		if err != nil {
+			lg.Error("building demo network", "err", err)
+			os.Exit(1)
+		}
+		lg.Info("no -xmodel given: serving built-in demo network (untrained weights)", "model", prog.Name)
+	}
+
+	// Every replica gets its own simulated board — the factory is the unit
+	// the autoscaler and rolling restarts call to provision capacity.
+	factory := func() (*serve.Server, error) {
+		return serve.New(dpu.New(dpu.ZCU104B4096()), prog, serve.Config{
+			Runners:    *runners,
+			Threads:    *threads,
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueDepth: *queue,
+			Timeout:    *timeout,
+			Seed:       *seed,
+			SimPace:    *simPace,
+		})
+	}
+	c, err := cluster.New(factory, cluster.Config{
+		MinNodes:       *minNodes,
+		MaxNodes:       *maxNodes,
+		Placement:      cluster.Policy(*placement),
+		HighWaterFrac:  *highWater,
+		LowWaterFrac:   *lowWater,
+		SustainWindow:  *sustain,
+		ScaleCooldown:  *cooldown,
+		BatchWaterFrac: *batchWater,
+		FailThreshold:  *failThreshold,
+		EjectCooldown:  *ejectCooldown,
+		MaxAttempts:    *attempts,
+		MaxBodyBytes:   *maxBody,
+		Metrics:        obs.Default,
+	})
+	if err != nil {
+		lg.Error("starting cluster", "err", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: c.Handler(),
+		// Slowloris/credit hygiene, as in seneca-serve; bodies are further
+		// capped by MaxBodyBytes inside the handlers.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		lg.Info("draining fleet")
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			lg.Warn("drain incomplete", "err", err)
+		}
+		httpSrv.Shutdown(ctx)
+	}()
+
+	g := prog.Graph
+	lg.Info("serving fleet",
+		"model", prog.Name,
+		"shape", []int{g.InC, g.InH, g.InW},
+		"addr", *addr,
+		"min_nodes", *minNodes,
+		"max_nodes", *maxNodes,
+		"placement", *placement,
+		"queue_per_node", *queue,
+		"batch_water", *batchWater)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		lg.Error("listen", "err", err)
+		os.Exit(1)
+	}
+
+	st := c.Stats()
+	lg.Info("served",
+		"interactive_completed", st.Interactive.Completed,
+		"interactive_shed", st.Interactive.Shed,
+		"batch_completed", st.Batch.Completed,
+		"batch_shed", st.Batch.Shed,
+		"scale_ups", st.ScaleUps,
+		"scale_downs", st.ScaleDowns,
+		"ejections", st.Ejections)
+}
+
+// demoProgram compiles a compact untrained U-Net so the cluster tier can
+// be exercised without a trained checkpoint.
+func demoProgram(size int) (*xmodel.Program, error) {
+	cfg := unet.Config{Name: "demo", Depth: 2, BaseFilters: 8, InChannels: 1, NumClasses: 6, Seed: 2}
+	g := unet.New(cfg).Export(size, size)
+	q, err := quant.QuantizeShapeOnly(g)
+	if err != nil {
+		return nil, err
+	}
+	return xmodel.Compile(q, cfg.Name)
+}

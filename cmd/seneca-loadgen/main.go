@@ -1,15 +1,27 @@
-// Command seneca-loadgen drives a running seneca-serve instance with
-// closed-loop load and prints a latency/throughput table per concurrency
-// level — the serving-side analog of the paper's thread-scaling sweep
-// (Section IV-B / Figure 3).
+// Command seneca-loadgen drives a running seneca-serve (or seneca-cluster
+// front door) with load and prints latency/throughput tables.
 //
-// Usage:
+// Two regimes:
+//
+// Closed-loop (default): a fixed client fleet keeps -requests in flight
+// per concurrency level, the serving-side analog of the paper's
+// thread-scaling sweep (Section IV-B / Figure 3):
 //
 //	seneca-loadgen -addr http://localhost:8080 -conc 1,2,4,8,16,32 -requests 200
 //
+// Open-loop (-arrival): arrivals fire on a stochastic schedule regardless
+// of how fast the server answers — the regime where queues grow and tail
+// latency, shed rate and goodput mean something:
+//
+//	seneca-loadgen -addr http://localhost:8080 -arrival poisson -rate 200 -duration 10s
+//	seneca-loadgen -arrival diurnal -rate 100          # compressed day/night cycle
+//	seneca-loadgen -arrival flash -rate 50 -flash-factor 10 -tier batch
+//
 // The generator asks GET /statz for the model's input geometry, fabricates
-// a random slice of that shape, and reuses it for every request. 429
-// responses are retried so rejected load stays offered.
+// a random slice of that shape, and reuses it for every request. In the
+// closed loop 429 responses are retried so rejected load stays offered; in
+// the open loop they count as shed — offered load is a property of the
+// arrival process, not of the server's opinion.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"seneca/internal/serve"
 )
@@ -28,20 +41,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("seneca-loadgen: ")
 
-	addr := flag.String("addr", "http://localhost:8080", "base URL of a running seneca-serve")
-	concList := flag.String("conc", "1,2,4,8,16,32", "comma-separated concurrency levels")
-	requests := flag.Int("requests", 200, "completed requests per level")
-	seed := flag.Int64("seed", 7, "input noise seed")
+	addr := flag.String("addr", "http://localhost:8080", "base URL of a running seneca-serve or seneca-cluster")
+	concList := flag.String("conc", "1,2,4,8,16,32", "comma-separated concurrency levels (closed loop)")
+	requests := flag.Int("requests", 200, "completed requests per level (closed loop)")
+	arrival := flag.String("arrival", "", `open-loop arrival process: "poisson", "diurnal" or "flash" (empty runs the closed-loop sweep)`)
+	rate := flag.Float64("rate", 100, "mean open-loop arrival rate, requests/second")
+	duration := flag.Duration("duration", 5*time.Second, "open-loop run length")
+	flashFactor := flag.Float64("flash-factor", 8, "rate multiplier during the flash-crowd window")
+	tier := flag.String("tier", "", `X-Seneca-Tier header for open-loop requests ("interactive" or "batch")`)
+	seed := flag.Int64("seed", 7, "input noise and arrival schedule seed")
 	flag.Parse()
-
-	var concs []int
-	for _, f := range strings.Split(*concList, ",") {
-		c, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || c < 1 {
-			log.Fatalf("bad -conc entry %q", f)
-		}
-		concs = append(concs, c)
-	}
 
 	shape, err := serve.FetchInputShape(*addr)
 	if err != nil {
@@ -55,6 +64,37 @@ func main() {
 	}
 	body := serve.EncodeInput(data)
 
+	if *arrival != "" {
+		switch *arrival {
+		case "poisson", "diurnal", "flash":
+		default:
+			log.Fatalf(`-arrival must be "poisson", "diurnal" or "flash", not %q`, *arrival)
+		}
+		fmt.Printf("open-loop %s arrivals at %s (model input %d×%d×%d), %.0f req/s for %s\n\n",
+			*arrival, *addr, shape[0], shape[1], shape[2], *rate, *duration)
+		rep, err := serve.RunOpenLoop(*addr, body, "application/octet-stream", serve.OpenLoopConfig{
+			Arrival:     *arrival,
+			Rate:        *rate,
+			Duration:    *duration,
+			FlashFactor: *flashFactor,
+			Seed:        *seed,
+			Tier:        *tier,
+		})
+		serve.FormatOpenLoop(os.Stdout, []serve.OpenLoopReport{rep})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var concs []int
+	for _, f := range strings.Split(*concList, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			log.Fatalf("bad -conc entry %q", f)
+		}
+		concs = append(concs, c)
+	}
 	fmt.Printf("sweeping %s (model input %d×%d×%d), %d requests per level\n\n",
 		*addr, shape[0], shape[1], shape[2], *requests)
 	points, err := serve.SweepLoad(*addr, body, "application/octet-stream", concs, *requests)

@@ -50,6 +50,7 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed (0 = deterministic timing)")
+	simPace := flag.Float64("sim-pace", 0, "pace batches to N× their simulated board time (0 = run at host speed)")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive batch failures that trip a runner's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before a half-open probe")
 	watchdog := flag.Duration("watchdog", 30*time.Second, "per-batch watchdog deadline on a runner")
@@ -97,6 +98,7 @@ func main() {
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Seed:       *seed,
+		SimPace:    *simPace,
 
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/fault"
+	"seneca/internal/serve"
+)
+
+// TestChaosNodeKilledMidBurst is the cluster resilience tentpole: the
+// "cluster.node.dispatch" fault point kills node dispatches mid-burst —
+// enough consecutive hits to eject whole nodes from routing — and every
+// response must still be bit-identical to fault-free execution, with zero
+// lost requests. Redispatch must carry every faulted request to a healthy
+// node. Runs under -race in `make chaos`.
+func TestChaosNodeKilledMidBurst(t *testing.T) {
+	c, prog, imgs := newTestCluster(t,
+		Config{
+			MinNodes:      2,
+			MaxNodes:      2,
+			FailThreshold: 2,
+			EjectCooldown: 50 * time.Millisecond,
+			// Every request may ride out several injected kills.
+			MaxAttempts: 8,
+		},
+		serve.Config{QueueDepth: 256, MaxBatch: 4})
+
+	// Fault-free goldens, computed before arming the registry.
+	ref := dpu.New(dpu.ZCU104B4096())
+	goldens := make([][]uint8, len(imgs))
+	for i, img := range imgs {
+		want, err := ref.Execute(prog, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = want
+	}
+
+	// 6 dispatch kills: with FailThreshold 2 that is enough to eject both
+	// nodes at least once mid-burst; count-capped so the fleet heals and
+	// the burst completes.
+	fault.Seed(42)
+	fault.Enable("cluster.node.dispatch", fault.Fault{Prob: 1, Count: 6})
+	t.Cleanup(fault.Reset)
+
+	const clients, perClient = 8, 15
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		wrong int
+		lost  int
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				idx := (cl*perClient + i) % len(imgs)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				mask, err := c.Submit(ctx, imgs[idx])
+				cancel()
+				if err != nil {
+					mu.Lock()
+					lost++
+					mu.Unlock()
+					t.Logf("client %d request %d: %v", cl, i, err)
+					continue
+				}
+				ok := len(mask) == len(goldens[idx])
+				if ok {
+					for j := range mask {
+						if mask[j] != goldens[idx][j] {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					mu.Lock()
+					wrong++
+					mu.Unlock()
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if wrong != 0 || lost != 0 {
+		t.Fatalf("chaos burst: %d wrong, %d lost of %d (want 0/0)", wrong, lost, clients*perClient)
+	}
+	if got := fault.Injected("cluster.node.dispatch"); got != 6 {
+		t.Fatalf("injected %d dispatch kills, want 6", got)
+	}
+	st := c.Stats()
+	if st.Redispatches < 6 {
+		t.Fatalf("redispatches = %d, want ≥ 6 (every kill must re-route)", st.Redispatches)
+	}
+	if st.Ejections == 0 {
+		t.Fatal("no node was ejected despite 6 consecutive-capable dispatch kills")
+	}
+	if st.Interactive.Completed != uint64(clients*perClient) {
+		t.Fatalf("completed %d of %d", st.Interactive.Completed, clients*perClient)
+	}
+
+	// The fleet must heal: both nodes back to active once cooldowns pass
+	// and probes succeed (driven by the trailing traffic above, or by one
+	// extra probe request here).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if h := c.Health(); h.Active == 2 {
+			break
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		c.Submit(ctx, imgs[0])
+		cancel()
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never healed: %+v", c.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosDispatchStallRedispatches programs a latency fault on the
+// dispatch point: stalled dispatches must still complete correctly within
+// the client deadline via the interruptible fault sleep and redispatch.
+func TestChaosDispatchStallRedispatches(t *testing.T) {
+	c, prog, imgs := newTestCluster(t,
+		Config{MinNodes: 2, MaxNodes: 2, FailThreshold: 2, EjectCooldown: 50 * time.Millisecond, MaxAttempts: 6},
+		serve.Config{QueueDepth: 64})
+
+	ref := dpu.New(dpu.ZCU104B4096())
+	fault.Seed(7)
+	// A stall then an error on the same point: delay+err fires both.
+	fault.Enable("cluster.node.dispatch", fault.Fault{Prob: 1, Count: 3, Delay: 20 * time.Millisecond, Err: fault.ErrInjected})
+	t.Cleanup(fault.Reset)
+
+	for i, img := range imgs {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		mask, err := c.Submit(ctx, img)
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		want, err := ref.Execute(prog, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if mask[j] != want[j] {
+				t.Fatalf("request %d: mask diverges at %d after stalled dispatch", i, j)
+			}
+		}
+	}
+	if got := fault.Injected("cluster.node.dispatch"); got != 3 {
+		t.Fatalf("injected %d, want 3", got)
+	}
+}

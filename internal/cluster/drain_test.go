@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"seneca/internal/fault"
+	"seneca/internal/serve"
+)
+
+// TestClusterDrainCompletesInFlight covers cluster-wide graceful drain:
+// requests dispatched before Shutdown complete with correct masks, new
+// requests are refused with ErrDraining (503 on the wire), and /healthz
+// flips to draining.
+func TestClusterDrainCompletesInFlight(t *testing.T) {
+	c, _, imgs := newTestCluster(t, Config{MinNodes: 2, MaxNodes: 2}, serve.Config{QueueDepth: 64})
+
+	const inflight = 12
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	masks := make([][]uint8, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			masks[i], errs[i] = c.Submit(context.Background(), imgs[i%len(imgs)])
+		}(i)
+	}
+	// Give the requests a moment to pass the front door, then drain.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+
+	for i := 0; i < inflight; i++ {
+		if errs[i] != nil {
+			t.Fatalf("in-flight request %d failed during drain: %v", i, errs[i])
+		}
+		if len(masks[i]) == 0 {
+			t.Fatalf("in-flight request %d returned an empty mask", i)
+		}
+	}
+	if _, err := c.Submit(context.Background(), imgs[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Submit: got %v, want ErrDraining", err)
+	}
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz: HTTP %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining /healthz body: %s (err %v)", body, err)
+	}
+}
+
+// TestRollingRestartRoutesAround covers the rolling restart: with traffic
+// flowing, every node is replaced in turn; in-flight requests complete,
+// new requests route around the restarting node (zero client-visible
+// errors on a 2-node fleet), /healthz reports degraded — not 503 — while
+// a node is out, and every generation is replaced by the end.
+func TestRollingRestartRoutesAround(t *testing.T) {
+	c, _, imgs := newTestCluster(t, Config{MinNodes: 2, MaxNodes: 2}, serve.Config{QueueDepth: 64})
+
+	// Hold each node in its draining state for a beat so the health poller
+	// below deterministically observes the degraded window (a tiny fleet
+	// drains its queue in single-digit milliseconds otherwise).
+	fault.Enable("cluster.node.restart", fault.Stall(1, 50*time.Millisecond))
+	t.Cleanup(fault.Reset)
+
+	stop := make(chan struct{})
+	clientErr := make(chan error, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Submit(context.Background(), imgs[i%len(imgs)]); err != nil {
+					select {
+					case clientErr <- err:
+					default:
+					}
+				}
+			}
+		}(i)
+	}
+
+	sawDegraded := make(chan struct{})
+	go func() {
+		defer close(sawDegraded)
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			h := c.Health()
+			if h.Status == "unavailable" {
+				t.Error("healthz reported unavailable (503) during rolling restart of a 2-node fleet")
+				return
+			}
+			if h.Status == "degraded" {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		t.Error("never observed a degraded /healthz during the rolling restart")
+	}()
+
+	gensBefore := nodeGens(c)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.RollingRestart(ctx); err != nil {
+		t.Fatalf("rolling restart: %v", err)
+	}
+	<-sawDegraded
+	close(stop)
+	wg.Wait()
+
+	select {
+	case err := <-clientErr:
+		t.Fatalf("client saw an error during rolling restart: %v", err)
+	default:
+	}
+	gensAfter := nodeGens(c)
+	for slot, gen := range gensAfter {
+		if before, ok := gensBefore[slot]; ok && gen == before {
+			t.Fatalf("slot %d was not replaced (gen %d before and after)", slot, gen)
+		}
+	}
+	if got := c.Stats().Restarts; got != 2 {
+		t.Fatalf("rolling_restarts = %d, want 2", got)
+	}
+	// The fleet is whole again: healthy, not degraded.
+	if h := c.Health(); h.Status != "ok" || h.Active != 2 {
+		t.Fatalf("post-restart health: %+v", h)
+	}
+}
+
+// TestRollingRestartSingleNodeSheds pins the 1-node edge: while the only
+// node is down, requests shed (429/503 class errors, never hangs or wrong
+// results), and service resumes when the replacement lands.
+func TestRollingRestartSingleNodeSheds(t *testing.T) {
+	c, _, imgs := newTestCluster(t, Config{MinNodes: 1, MaxNodes: 1, MaxAttempts: 1}, serve.Config{QueueDepth: 8})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- c.RollingRestart(ctx) }()
+
+	// Whatever happens mid-restart must be a clean shed or a success —
+	// never a hang past the deadline or a malformed mask.
+	for i := 0; i < 20; i++ {
+		rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		mask, err := c.Submit(rctx, imgs[i%len(imgs)])
+		rcancel()
+		if err == nil && len(mask) == 0 {
+			t.Fatal("empty mask from a successful submit mid-restart")
+		}
+		if err != nil && !errors.Is(err, ErrSaturated) && !errors.Is(err, serve.ErrDraining) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("mid-restart error class: %v", err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("rolling restart: %v", err)
+	}
+	if _, err := c.Submit(context.Background(), imgs[0]); err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+}
+
+// TestHealthzDegradedVs503OverHTTP drives the distinction end-to-end over
+// the wire: a full fleet answers 200 ok, a fleet with an ejected node
+// answers 200 degraded, a fleet with zero routable nodes answers 503.
+func TestHealthzDegradedVs503OverHTTP(t *testing.T) {
+	c, _, _ := newTestCluster(t, Config{MinNodes: 2, MaxNodes: 2, EjectCooldown: time.Hour}, serve.Config{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	get := func() (int, Health) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get(); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy fleet: HTTP %d %+v", code, h)
+	}
+
+	// Eject node 0 by hand: degraded, still 200.
+	c.mu.RLock()
+	n0, n1 := c.slots[0], c.slots[1]
+	c.mu.RUnlock()
+	for i := 0; i < c.cfg.FailThreshold; i++ {
+		c.nodeFailure(n0)
+	}
+	if code, h := get(); code != http.StatusOK || h.Status != "degraded" {
+		t.Fatalf("one ejected node: HTTP %d %+v, want 200 degraded", code, h)
+	}
+
+	// Eject the second too: zero routable nodes → 503.
+	for i := 0; i < c.cfg.FailThreshold; i++ {
+		c.nodeFailure(n1)
+	}
+	if code, h := get(); code != http.StatusServiceUnavailable || h.Status != "unavailable" {
+		t.Fatalf("zero routable nodes: HTTP %d %+v, want 503 unavailable", code, h)
+	}
+}
+
+// TestSegmentOverHTTPWithTierAndNode exercises the front door wire format:
+// an octet-stream body comes back as a mask with the serving node's slot
+// in X-Seneca-Node, and a bad tier is a 400.
+func TestSegmentOverHTTPWithTierAndNode(t *testing.T) {
+	c, prog, imgs := newTestCluster(t, Config{MinNodes: 2, MaxNodes: 2}, serve.Config{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	body := serve.EncodeInput(imgs[0].Data)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/segment", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Seneca-Tier", "batch")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("segment: HTTP %d (%s)", resp.StatusCode, mask)
+	}
+	g := prog.Graph
+	if len(mask) != g.InH*g.InW {
+		t.Fatalf("mask is %d bytes, want %d", len(mask), g.InH*g.InW)
+	}
+	if node := resp.Header.Get("X-Seneca-Node"); node != "0" && node != "1" {
+		t.Fatalf("X-Seneca-Node = %q, want a slot id", node)
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, srv.URL+"/v1/segment", bytes.NewReader(body))
+	req.Header.Set("X-Seneca-Tier", "bogus")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus tier: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func nodeGens(c *Cluster) map[int]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	gens := make(map[int]int)
+	for _, n := range c.slots {
+		if n != nil {
+			gens[n.slot] = n.gen
+		}
+	}
+	return gens
+}

@@ -1,7 +1,8 @@
 // Package fault is a deterministic fault-injection registry for chaos
 // testing the SENECA stack. Production code declares named injection
 // points at its real failure seams (runner execution, device simulation,
-// store writes, NIfTI decode); tests and the binaries program those points
+// store writes, NIfTI decode, cluster node dispatch and rolling-restart
+// replacement); tests and the binaries program those points
 // with a probability, a hit budget, an error and/or a latency, and the
 // instrumented code misbehaves exactly as a flaky edge deployment would —
 // reproducibly, because every probabilistic decision draws from one seeded

@@ -303,18 +303,49 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // computes. It returns the highest finite bound when the quantile lands in
 // the +Inf bucket, and 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles estimates several quantiles (each 0 ≤ q ≤ 1) from one snapshot
+// of the bucket counts, so the returned values are mutually consistent even
+// while other goroutines keep observing — this is what tail-latency
+// reporting (p50/p99/p999 in one row) should use instead of sorting raw
+// samples. Results are in qs order, interpolated like Quantile.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	// Observations past the last bound live only in the total count; fold
+	// them into an implicit +Inf bucket so ranks stay consistent.
+	if grand := h.count.Load(); grand > total {
+		total = grand
+	}
+	for k, q := range qs {
+		out[k] = bucketQuantile(h.bounds, counts, total, q)
+	}
+	return out
+}
+
+// bucketQuantile is the interpolation core shared by Quantile/Quantiles:
+// given ascending finite bucket bounds, per-bucket (non-cumulative) counts
+// and the grand total (which may exceed the finite-bucket sum when values
+// landed past the last bound), it estimates the q-quantile.
+func bucketQuantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum uint64
-	for i, b := range h.bounds {
-		c := h.counts[i].Load()
+	for i, b := range bounds {
+		c := counts[i]
 		if float64(cum+c) >= rank {
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
 			if c == 0 {
 				return b
@@ -324,10 +355,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	if len(h.bounds) == 0 {
-		return 0
-	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 func (h *Histogram) write(sb *strings.Builder, name, lbl string) {

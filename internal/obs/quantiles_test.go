@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantilesUniform checks the interpolated estimates against a uniform
+// fill: 1000 observations spread evenly over (0, 1] must put p50 near 0.5,
+// p99 near 0.99 and p999 near 0.999, within one bucket of resolution.
+func TestQuantilesUniform(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	h := r.Histogram("u", "", bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	qs := h.Quantiles(0.50, 0.99, 0.999)
+	for i, want := range []float64{0.5, 0.99, 0.999} {
+		if math.Abs(qs[i]-want) > 0.1 {
+			t.Errorf("quantile %d: got %.4f, want ≈%.4f", i, qs[i], want)
+		}
+	}
+	// The multi-quantile path and the single-quantile path must agree.
+	if got, want := h.Quantile(0.99), qs[1]; got != want {
+		t.Errorf("Quantile(0.99)=%v, Quantiles(...)[1]=%v", got, want)
+	}
+}
+
+// TestQuantilesTail pins the p999 extraction on a distribution with a thin
+// tail: 995 fast observations and 5 slow ones (0.5% of mass — more than
+// the 0.1% the p999 rank reaches past). p50 stays in the fast bucket;
+// p999 must climb into the slow one.
+func TestQuantilesTail(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.001, 0.010, 0.100, 1.0}
+	h := r.Histogram("tail", "", bounds)
+	for i := 0; i < 995; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(0.5)
+	}
+	qs := h.Quantiles(0.50, 0.999)
+	if qs[0] > 0.001 {
+		t.Errorf("p50 = %v, want ≤ 0.001", qs[0])
+	}
+	if qs[1] < 0.100 {
+		t.Errorf("p999 = %v, want in the slow bucket (≥ 0.100)", qs[1])
+	}
+}
+
+// TestQuantilesEdgeCases covers the degenerate inputs: no observations,
+// and observations past the last bound (the implicit +Inf bucket), which
+// must clamp to the highest finite bound rather than extrapolate.
+func TestQuantilesEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", "", []float64{1, 2})
+	for _, q := range h.Quantiles(0.5, 0.99, 0.999) {
+		if q != 0 {
+			t.Errorf("empty histogram quantile = %v, want 0", q)
+		}
+	}
+	h.Observe(100) // lands past the last bound
+	h.Observe(100)
+	if got := h.Quantile(0.999); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+// TestQuantilesDurations exercises the intended call pattern: latencies
+// observed in seconds, tail quantiles read back as durations.
+func TestQuantilesDurations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", DefBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002) // 2ms
+	}
+	h.Observe(0.8) // one slow request
+	qs := h.Quantiles(0.50, 0.999)
+	p50 := time.Duration(qs[0] * float64(time.Second))
+	p999 := time.Duration(qs[1] * float64(time.Second))
+	if p50 > 5*time.Millisecond {
+		t.Errorf("p50 = %v, want ≤ 5ms", p50)
+	}
+	if p999 < 100*time.Millisecond {
+		t.Errorf("p999 = %v, want ≥ 100ms", p999)
+	}
+}

@@ -98,6 +98,7 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 	}
 	runner := w.getRunner()
 	ch := make(chan runOut, 1)
+	execStart := time.Now()
 	go func() {
 		masks, res, err := runner.Run(imgs, seed)
 		ch <- runOut{masks: masks, res: res, err: err}
@@ -118,6 +119,14 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 		return
 	}
 	w.recordSuccess()
+	if s.cfg.SimPace > 0 {
+		// Hold the slot until the batch's paced wall time has elapsed: the
+		// modelled board would still be busy, so the replica must be too.
+		target := time.Duration(s.cfg.SimPace * float64(out.res.Duration))
+		if elapsed := time.Since(execStart); elapsed < target {
+			time.Sleep(target - elapsed)
+		}
+	}
 	s.stats.recordBatch(len(live), out.res)
 	s.mOccupancy.Observe(float64(len(live)))
 	now := time.Now()

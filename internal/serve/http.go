@@ -129,14 +129,28 @@ func statusFor(err error, fallback int) int {
 // The int return is the HTTP status for the error case.
 func (s *Server) decodeInput(w http.ResponseWriter, r *http.Request) (*tensor.Tensor, int, error) {
 	g := s.prog.Graph
-	n := g.InC * g.InH * g.InW
+	return DecodeSegmentRequest(w, r, g.InC, g.InH, g.InW, s.cfg.MaxBodyBytes)
+}
+
+// DecodeSegmentRequest parses one /v1/segment request body into a CHW
+// input tensor for a model with geometry c×h×wd, honoring the same three
+// Content-Type encodings the Server accepts (octet-stream, JSON, NIfTI)
+// and capping the body at maxBody bytes (413 beyond it). The int return is
+// the HTTP status for the error case. It is exported so front doors that
+// route to many Servers (the cluster router) can decode once without
+// binding to any one replica.
+func DecodeSegmentRequest(w http.ResponseWriter, r *http.Request, c, h, wd int, maxBody int64) (*tensor.Tensor, int, error) {
+	n := c * h * wd
+	if maxBody <= 0 {
+		maxBody = maxBodyBytes
+	}
 	ct := r.Header.Get("Content-Type")
 	if ct != "" {
 		if parsed, _, err := mime.ParseMediaType(ct); err == nil {
 			ct = parsed
 		}
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, maxBody)
 	switch ct {
 	case "", "application/octet-stream":
 		buf, err := io.ReadAll(body)
@@ -145,13 +159,13 @@ func (s *Server) decodeInput(w http.ResponseWriter, r *http.Request) (*tensor.Te
 		}
 		if len(buf) != 4*n {
 			return nil, http.StatusBadRequest,
-				fmt.Errorf("serve: body is %d bytes, want %d (float32 %d×%d×%d)", len(buf), 4*n, g.InC, g.InH, g.InW)
+				fmt.Errorf("serve: body is %d bytes, want %d (float32 %d×%d×%d)", len(buf), 4*n, c, h, wd)
 		}
 		data := make([]float32, n)
 		for i := range data {
 			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 		}
-		return tensor.FromSlice(data, g.InC, g.InH, g.InW), 0, nil
+		return tensor.FromSlice(data, c, h, wd), 0, nil
 
 	case "application/json":
 		var req struct {
@@ -162,22 +176,22 @@ func (s *Server) decodeInput(w http.ResponseWriter, r *http.Request) (*tensor.Te
 		}
 		if len(req.Data) != n {
 			return nil, http.StatusBadRequest,
-				fmt.Errorf("serve: data has %d values, want %d (%d×%d×%d)", len(req.Data), n, g.InC, g.InH, g.InW)
+				fmt.Errorf("serve: data has %d values, want %d (%d×%d×%d)", len(req.Data), n, c, h, wd)
 		}
-		return tensor.FromSlice(req.Data, g.InC, g.InH, g.InW), 0, nil
+		return tensor.FromSlice(req.Data, c, h, wd), 0, nil
 
 	case "application/x-nifti", "application/nifti":
-		if g.InC != 1 {
+		if c != 1 {
 			return nil, http.StatusBadRequest,
-				fmt.Errorf("serve: NIfTI input needs a single-channel model, this one has %d", g.InC)
+				fmt.Errorf("serve: NIfTI input needs a single-channel model, this one has %d", c)
 		}
 		vol, err := nifti.Read(body)
 		if err != nil {
 			return nil, statusFor(err, http.StatusBadRequest), fmt.Errorf("serve: bad NIfTI body: %w", err)
 		}
-		if vol.Nx != g.InW || vol.Ny != g.InH {
+		if vol.Nx != wd || vol.Ny != h {
 			return nil, http.StatusBadRequest,
-				fmt.Errorf("serve: NIfTI slice is %d×%d, model wants %d×%d", vol.Ny, vol.Nx, g.InH, g.InW)
+				fmt.Errorf("serve: NIfTI slice is %d×%d, model wants %d×%d", vol.Ny, vol.Nx, h, wd)
 		}
 		z := vol.Nz / 2
 		if q := r.URL.Query().Get("z"); q != "" {
@@ -187,7 +201,7 @@ func (s *Server) decodeInput(w http.ResponseWriter, r *http.Request) (*tensor.Te
 					fmt.Errorf("serve: slice z=%q out of range [0,%d)", q, vol.Nz)
 			}
 		}
-		return tensor.FromSlice(vol.Slice(z), 1, g.InH, g.InW), 0, nil
+		return tensor.FromSlice(vol.Slice(z), 1, h, wd), 0, nil
 	}
 	return nil, http.StatusUnsupportedMediaType,
 		fmt.Errorf("serve: unsupported Content-Type %q", ct)

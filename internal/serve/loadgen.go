@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"seneca/internal/obs"
 )
 
 // LoadPoint is one row of a closed-loop load sweep: the serving-side
@@ -164,6 +167,210 @@ func EncodeInput(data []float32) []byte {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
 	return buf
+}
+
+// ---- Open-loop load ----------------------------------------------------
+
+// OpenLoopConfig drives one open-loop run: arrivals fire on a schedule
+// drawn from a stochastic process regardless of how fast the server
+// responds — the regime where queues actually grow and tail latency, shed
+// rate and goodput mean something. (The closed-loop SweepLoad above can
+// never overload the server by more than its client count.)
+type OpenLoopConfig struct {
+	// Arrival selects the process: "poisson" (default) is a homogeneous
+	// Poisson stream at Rate; "diurnal" modulates the rate sinusoidally
+	// over Duration (trough ~0.1×, peak ~1.9× Rate), a compressed
+	// day/night cycle; "flash" holds Rate and multiplies it by FlashFactor
+	// during the middle fifth of the run — a flash crowd.
+	Arrival string
+	// Rate is the mean arrival rate in requests/second (the baseline rate
+	// for "flash"). Default 100.
+	Rate float64
+	// Duration is how long arrivals are generated. Default 5s.
+	Duration time.Duration
+	// FlashFactor is the rate multiplier during a flash crowd. Default 8.
+	FlashFactor float64
+	// Seed makes the arrival schedule reproducible. Default 1.
+	Seed int64
+	// Tier is sent as the X-Seneca-Tier header ("interactive" or "batch");
+	// empty omits the header (servers default to interactive).
+	Tier string
+	// Timeout is the per-request client timeout. Default 30s.
+	Timeout time.Duration
+}
+
+func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
+	if c.Arrival == "" {
+		c.Arrival = "poisson"
+	}
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.FlashFactor <= 1 {
+		c.FlashFactor = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// OpenLoopReport summarizes one open-loop run. Latency quantiles are
+// extracted from histogram bucket counts (obs.Histogram.Quantiles), so a
+// multi-million-request run costs a fixed few hundred bytes of state.
+type OpenLoopReport struct {
+	Arrival  string        `json:"arrival"`
+	Rate     float64       `json:"rate"`
+	Duration time.Duration `json:"duration"`
+
+	Offered   int `json:"offered"`   // arrivals generated
+	Completed int `json:"completed"` // HTTP 200
+	Shed      int `json:"shed"`      // HTTP 429 or 503 (load shedding)
+	Errors    int `json:"errors"`    // transport errors and other statuses
+
+	Goodput  float64 `json:"goodput"`   // completed responses per wall second
+	ShedRate float64 `json:"shed_rate"` // shed / offered
+
+	P50, P99, P999 time.Duration
+}
+
+// RunOpenLoop drives a running server (or cluster front door) with
+// open-loop arrivals and reports goodput, shed rate and p50/p99/p999
+// latency. body/contentType must encode one valid request for the target's
+// model; every arrival reuses it. Arrivals that find the target saturated
+// count as shed, not retried — offered load is a property of the process,
+// not of the server's opinion.
+func RunOpenLoop(baseURL string, body []byte, contentType string, cfg OpenLoopConfig) (OpenLoopReport, error) {
+	cfg = cfg.withDefaults()
+	schedule := arrivalSchedule(cfg)
+	client := &http.Client{Timeout: cfg.Timeout}
+	hist := obs.NewRegistry().Histogram("loadgen_latency_seconds", "", obs.DefBuckets)
+
+	var completed, shed, errored atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, at := range schedule {
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/segment", bytes.NewReader(body))
+			if err != nil {
+				errored.Add(1)
+				record(err)
+				return
+			}
+			req.Header.Set("Content-Type", contentType)
+			if cfg.Tier != "" {
+				req.Header.Set("X-Seneca-Tier", cfg.Tier)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				errored.Add(1)
+				record(err)
+				return
+			}
+			_, status := drainResponse(resp)
+			switch status {
+			case http.StatusOK:
+				completed.Add(1)
+				hist.Observe(time.Since(t0).Seconds())
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				errored.Add(1)
+				record(fmt.Errorf("serve: open-loop got HTTP %d", status))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := OpenLoopReport{
+		Arrival:   cfg.Arrival,
+		Rate:      cfg.Rate,
+		Duration:  wall,
+		Offered:   len(schedule),
+		Completed: int(completed.Load()),
+		Shed:      int(shed.Load()),
+		Errors:    int(errored.Load()),
+	}
+	if wall > 0 {
+		rep.Goodput = float64(rep.Completed) / wall.Seconds()
+	}
+	if rep.Offered > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Offered)
+	}
+	qs := hist.Quantiles(0.50, 0.99, 0.999)
+	rep.P50 = time.Duration(qs[0] * float64(time.Second))
+	rep.P99 = time.Duration(qs[1] * float64(time.Second))
+	rep.P999 = time.Duration(qs[2] * float64(time.Second))
+	return rep, firstErr
+}
+
+// arrivalSchedule draws the arrival offsets for one open-loop run. The
+// non-homogeneous processes (diurnal, flash) are generated by thinning a
+// homogeneous stream at the peak rate, so the schedule is an exact draw
+// from the stated intensity function.
+func arrivalSchedule(cfg OpenLoopConfig) []time.Duration {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.Duration.Seconds()
+	rate := func(t float64) float64 { return cfg.Rate }
+	peak := cfg.Rate
+	switch cfg.Arrival {
+	case "diurnal":
+		rate = func(t float64) float64 {
+			return cfg.Rate * (1 + 0.9*math.Sin(2*math.Pi*t/d-math.Pi/2))
+		}
+		peak = 1.9 * cfg.Rate
+	case "flash":
+		rate = func(t float64) float64 {
+			if t >= 0.4*d && t < 0.6*d {
+				return cfg.Rate * cfg.FlashFactor
+			}
+			return cfg.Rate
+		}
+		peak = cfg.Rate * cfg.FlashFactor
+	}
+	var out []time.Duration
+	for t := rng.ExpFloat64() / peak; t < d; t += rng.ExpFloat64() / peak {
+		if rng.Float64()*peak < rate(t) {
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+	return out
+}
+
+// FormatOpenLoop renders open-loop reports as the fixed-width table
+// seneca-loadgen and the cluster example print.
+func FormatOpenLoop(w io.Writer, reports []OpenLoopReport) {
+	fmt.Fprintf(w, "%-8s %8s %9s %9s %7s %7s %9s %10s %10s %10s\n",
+		"arrival", "rate/s", "offered", "goodput", "shed%", "errs", "p50", "p99", "p999", "wall")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-8s %8.0f %9d %9.1f %6.1f%% %7d %9s %10s %10s %10s\n",
+			r.Arrival, r.Rate, r.Offered, r.Goodput, 100*r.ShedRate, r.Errors,
+			r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
+			r.P999.Round(10*time.Microsecond), r.Duration.Round(time.Millisecond))
+	}
 }
 
 // FormatSweep renders a load sweep as the fixed-width table the serving

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSimPaceBoundsThroughput pins the paced deployment mode: with SimPace
+// set, a batch holds its dispatch slot for at least SimPace × its simulated
+// duration, so the wall time of a burst has a hard floor derived from the
+// simulated board — however fast the host CPU is.
+func TestSimPaceBoundsThroughput(t *testing.T) {
+	const pace = 20.0
+	s, _, _, imgs := newTestServer(t, Config{
+		Threads:    2,
+		MaxBatch:   8,
+		MaxDelay:   time.Millisecond,
+		QueueDepth: 64,
+		SimPace:    pace,
+	})
+
+	const requests = 32
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(context.Background(), imgs[i%len(imgs)])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// The server saw at least requests/MaxBatch batches; each was paced to
+	// pace × its simulated duration, and one runner executes them serially.
+	st := s.Stats()
+	if st.SimFPS <= 0 {
+		t.Fatalf("no simulated time accumulated: %+v", st)
+	}
+	simSeconds := float64(st.Completed) / st.SimFPS
+	floor := time.Duration(pace * simSeconds * float64(time.Second))
+	if wall < floor/2 {
+		t.Fatalf("wall %v beat the paced floor %v — SimPace is not holding slots", wall, floor)
+	}
+}
+
+// TestRunOpenLoopAccounting drives a tiny Poisson run end-to-end over HTTP
+// and checks the report's books balance: every arrival is completed, shed
+// or errored, goodput and shed rate are consistent, and quantiles are
+// populated when anything completed.
+func TestRunOpenLoopAccounting(t *testing.T) {
+	s, _, _, imgs := newTestServer(t, Config{Threads: 2, QueueDepth: 4, MaxBatch: 2, MaxDelay: time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := EncodeInput(imgs[0].Data)
+	rep, err := RunOpenLoop(srv.URL, body, "application/octet-stream", OpenLoopConfig{
+		Arrival:  "poisson",
+		Rate:     200,
+		Duration: time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("open loop: %v (report %+v)", err, rep)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("poisson schedule generated no arrivals")
+	}
+	if got := rep.Completed + rep.Shed + rep.Errors; got != rep.Offered {
+		t.Fatalf("books don't balance: %d+%d+%d = %d of %d offered",
+			rep.Completed, rep.Shed, rep.Errors, got, rep.Offered)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("open loop errored %d times", rep.Errors)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("nothing completed at 200/s against a live server")
+	}
+	if rep.Goodput <= 0 {
+		t.Fatalf("goodput = %v with %d completed", rep.Goodput, rep.Completed)
+	}
+	wantShedRate := float64(rep.Shed) / float64(rep.Offered)
+	if rep.ShedRate != wantShedRate {
+		t.Fatalf("shed rate %v, want %v", rep.ShedRate, wantShedRate)
+	}
+	if rep.P50 <= 0 || rep.P999 < rep.P50 {
+		t.Fatalf("quantiles not ordered: p50=%v p999=%v", rep.P50, rep.P999)
+	}
+}
+
+// TestArrivalSchedules checks the three processes produce plausible draws:
+// counts near rate×duration (poisson, diurnal) and a flash run offering
+// roughly (1 + (factor-1)/5)× the baseline mass, all inside [0, Duration).
+func TestArrivalSchedules(t *testing.T) {
+	base := OpenLoopConfig{Rate: 500, Duration: 2 * time.Second, Seed: 11, FlashFactor: 8}
+	want := base.Rate * base.Duration.Seconds()
+	cases := map[string]float64{
+		"poisson": want,
+		"diurnal": want,               // the sinusoid integrates back to the mean rate
+		"flash":   want * (1 + 7*0.2), // middle fifth at 8×: mass ×(1 + 7/5)
+	}
+	for arrival, mean := range cases {
+		cfg := base
+		cfg.Arrival = arrival
+		sched := arrivalSchedule(cfg.withDefaults())
+		n := float64(len(sched))
+		// 5 sigma on a Poisson count of this size is well under 10%.
+		if n < mean*0.85 || n > mean*1.15 {
+			t.Errorf("%s: %d arrivals, want ≈%.0f", arrival, len(sched), mean)
+		}
+		for _, at := range sched {
+			if at < 0 || at >= cfg.Duration {
+				t.Fatalf("%s: arrival at %v outside [0, %v)", arrival, at, cfg.Duration)
+			}
+		}
+	}
+}

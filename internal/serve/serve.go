@@ -66,6 +66,16 @@ type Config struct {
 	Timeout time.Duration
 	// Seed controls simulated measurement jitter (0 = deterministic).
 	Seed int64
+	// SimPace, when positive, paces every dispatched batch to SimPace ×
+	// its simulated duration on the modelled board: the dispatch holds its
+	// slot (sleeping, not computing) until that much wall time has passed,
+	// so the server's real-time throughput tracks the discrete-event
+	// deployment estimate instead of host CPU speed. 1 replays the
+	// simulated board in real time; larger values model a proportionally
+	// slower board or heavier model. 0 (default) disables pacing. Paced
+	// replicas sleep through most of their batch window, which is what
+	// lets a multi-node cluster on one host machine scale real goodput.
+	SimPace float64
 	// BreakerThreshold is how many consecutive batch failures trip one
 	// runner's circuit breaker: the runner is evicted, a fresh one is built
 	// from the retained device and program, and the breaker opens for
@@ -235,6 +245,34 @@ func (s *Server) Submit(ctx context.Context, img *tensor.Tensor) ([]uint8, error
 	mask, _, err := s.submit(ctx, img)
 	return mask, err
 }
+
+// Segment is Submit plus the occupancy of the micro-batch the request rode
+// in (what the HTTP layer reports as X-Seneca-Batch). The cluster router
+// uses it to forward occupancy end-to-end through the front door.
+func (s *Server) Segment(ctx context.Context, img *tensor.Tensor) (mask []uint8, occupancy int, err error) {
+	return s.submit(ctx, img)
+}
+
+// QueueDepth returns the number of requests currently waiting in the
+// admission queue — the load signal the cluster's placement and autoscaler
+// steer by. One atomic load; safe on hot paths.
+func (s *Server) QueueDepth() int { return int(s.stats.depth.Load()) }
+
+// QueueCap returns the configured admission queue capacity.
+func (s *Server) QueueCap() int { return s.cfg.QueueDepth }
+
+// InFlightBatches returns how many micro-batches are currently executing
+// on the runner pool.
+func (s *Server) InFlightBatches() int {
+	var n int32
+	for _, w := range s.pool {
+		n += w.inflight.Load()
+	}
+	return int(n)
+}
+
+// ModelName returns the name of the served compiled program.
+func (s *Server) ModelName() string { return s.prog.Name }
 
 func (s *Server) submit(ctx context.Context, img *tensor.Tensor) ([]uint8, int, error) {
 	g := s.prog.Graph

@@ -32,6 +32,7 @@ package seneca
 import (
 	"io"
 
+	"seneca/internal/cluster"
 	"seneca/internal/core"
 	"seneca/internal/ctorg"
 	"seneca/internal/dpu"
@@ -130,6 +131,40 @@ type (
 	// ServerHealth is the self-healing snapshot of the serving tier's
 	// runner pool (breaker states, evictions, redispatches).
 	ServerHealth = serve.Health
+	// Cluster is the sharded serving fleet: a front-door router over
+	// in-process replicas with pluggable placement, two-tier priority
+	// admission, queue-driven autoscaling, per-node health ejection and
+	// load shedding (internal/cluster).
+	Cluster = cluster.Cluster
+	// ClusterConfig tunes the fleet (node bounds, placement policy, water
+	// marks, eject thresholds).
+	ClusterConfig = cluster.Config
+	// ClusterStats is the fleet's GET /statz snapshot.
+	ClusterStats = cluster.Stats
+	// ClusterHealth is the fleet's GET /healthz summary (ok / degraded /
+	// draining / unavailable).
+	ClusterHealth = cluster.Health
+	// RequestTier is a request's admission priority on the cluster
+	// (TierInteractive preempts TierBatch).
+	RequestTier = cluster.Tier
+	// OpenLoopConfig drives one open-loop load run (Poisson, diurnal or
+	// flash-crowd arrivals).
+	OpenLoopConfig = serve.OpenLoopConfig
+	// OpenLoopReport summarizes an open-loop run: goodput, shed rate and
+	// p50/p99/p999 latency from histogram buckets.
+	OpenLoopReport = serve.OpenLoopReport
+)
+
+// Cluster admission tiers.
+const (
+	TierInteractive = cluster.TierInteractive
+	TierBatch       = cluster.TierBatch
+)
+
+// Cluster placement policies.
+const (
+	PlacementLeastLoaded = cluster.PolicyLeastLoaded
+	PlacementHash        = cluster.PolicyHash
 )
 
 // Calibration and quantization mode constants.
@@ -222,6 +257,24 @@ func WriteNIfTI(path string, v *NIfTIVolume) error { return nifti.WriteFile(path
 func SweepLoad(baseURL string, body []byte, contentType string, concurrencies []int, perLevel int) ([]LoadPoint, error) {
 	return serve.SweepLoad(baseURL, body, contentType, concurrencies, perLevel)
 }
+
+// NewCluster stands up a sharded serving fleet: factory provisions one
+// fresh replica per call (the autoscaler and rolling restarts reuse it).
+// Release with Shutdown; serve its Handler() with net/http (see
+// cmd/seneca-cluster).
+func NewCluster(factory func() (*InferenceServer, error), cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(factory, cfg)
+}
+
+// RunOpenLoop drives a running server or cluster front door with open-loop
+// arrivals (the regime where queues actually grow) and reports goodput,
+// shed rate and tail latency.
+func RunOpenLoop(baseURL string, body []byte, contentType string, cfg OpenLoopConfig) (OpenLoopReport, error) {
+	return serve.RunOpenLoop(baseURL, body, contentType, cfg)
+}
+
+// FormatOpenLoop renders open-loop reports as a fixed-width table.
+func FormatOpenLoop(w io.Writer, reports []OpenLoopReport) { serve.FormatOpenLoop(w, reports) }
 
 // EncodeServeInput serializes float32 values as the raw
 // application/octet-stream body POST /v1/segment expects.
