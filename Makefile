@@ -3,9 +3,9 @@ GO ?= go
 # Tier-1 kernel micro-benchmarks: cheap, deterministic workloads snapshotted
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
-TIER1_BENCH = ^Benchmark(INT8Inference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR6.json
-BENCH_BASELINE   = BENCH_PR5.json
+TIER1_BENCH = ^Benchmark(INT8Inference|GPUSimInference|DPUSimInference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
+BENCH_SNAPSHOT   = BENCH_PR7.json
+BENCH_BASELINE   = BENCH_PR6.json
 
 .PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz chaos
 
@@ -46,7 +46,7 @@ bench-all:
 # ejected mid-burst — must never produce a wrong or lost response (see
 # README "Resilience & fault injection").
 chaos:
-	$(GO) test -race -count=1 -run Chaos ./internal/serve/ ./internal/study/ ./internal/cluster/
+	$(GO) test -race -count=1 -run Chaos ./internal/backend/ ./internal/serve/ ./internal/study/ ./internal/cluster/
 
 # fuzz exercises the binary-format parsers beyond their committed corpora.
 fuzz:

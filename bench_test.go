@@ -327,3 +327,37 @@ func BenchmarkXmodelSerialize(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGPUSimInference measures one frame through the gpu-sim backend:
+// bit-accurate INT8 functional execution priced by the FP32 GPU roofline.
+func BenchmarkGPUSimInference(b *testing.B) {
+	prog := benchProgram(b, "1M", 64)
+	be, err := seneca.NewBackend("gpu-sim", seneca.NewZCU104(), prog, seneca.BackendOptions{Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgs := []*tensor.Tensor{randomImage(64, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := be.Execute(imgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPUSimInference measures one frame through the dpu-sim backend:
+// the VART runtime over the discrete-event DPU model.
+func BenchmarkDPUSimInference(b *testing.B) {
+	prog := benchProgram(b, "1M", 64)
+	be, err := seneca.NewBackend("dpu-sim", seneca.NewZCU104(), prog, seneca.BackendOptions{Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgs := []*tensor.Tensor{randomImage(64, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := be.Execute(imgs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 // Command seneca-serve deploys a compiled xmodel as an online inference
-// service on the simulated ZCU104: an HTTP server with a bounded admission
-// queue, dynamic micro-batching across a pool of VART runners, explicit
-// backpressure (429 + Retry-After) and graceful drain on SIGINT/SIGTERM.
+// service: an HTTP server with a bounded admission queue, dynamic
+// micro-batching across a heterogeneous pool of execution backends
+// (simulated DPU, host INT8 CPU, simulated GPU), cost-model routing under
+// a latency SLO and energy budget, explicit backpressure (429 +
+// Retry-After) and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	seneca-serve -xmodel 1m.xmodel -addr :8080 -runners 2 -threads 4
+//	seneca-serve -backends dpu-sim:2,cpu-int8,gpu-sim -slo 50ms -energy-budget 0.5
 //
 // With no -xmodel it serves a small built-in demo network (shape-only
 // quantized, untrained weights) so the serving path can be exercised
@@ -42,7 +45,10 @@ func main() {
 	xmodelPath := flag.String("xmodel", "", "compiled xmodel (empty: built-in demo network)")
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 64, "demo network input size (only without -xmodel)")
-	runners := flag.Int("runners", 1, "runner pool size")
+	runners := flag.Int("runners", 1, "runner pool size (ignored when -backends is set)")
+	backends := flag.String("backends", "", `heterogeneous pool spec, e.g. "dpu-sim:2,cpu-int8,gpu-sim" (empty: dpu-sim × -runners)`)
+	slo := flag.Duration("slo", 0, "router latency SLO per micro-batch (0 = off)")
+	energyBudget := flag.Float64("energy-budget", 0, "router energy budget in joules per frame (0 = off)")
 	threads := flag.Int("threads", 4, "host threads per runner (paper deploys 4)")
 	pipeline := flag.Int("pipeline", 1, "in-flight batches per runner")
 	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
@@ -90,7 +96,11 @@ func main() {
 
 	dev := dpu.New(dpu.ZCU104B4096())
 	srv, err := serve.New(dev, prog, serve.Config{
-		Runners:    *runners,
+		Runners:      *runners,
+		Backends:     *backends,
+		LatencySLO:   *slo,
+		EnergyBudget: *energyBudget,
+
 		Threads:    *threads,
 		Pipeline:   *pipeline,
 		MaxBatch:   *maxBatch,
@@ -153,7 +163,8 @@ func main() {
 		"shape", []int{g.InC, g.InH, g.InW},
 		"addr", *addr,
 		"device", dev.Cfg.Name,
-		"runners", *runners,
+		"backends", srv.Health().Backends,
+		"runners", len(srv.Health().Backends),
 		"threads", *threads,
 		"max_batch", *maxBatch,
 		"max_delay", *maxDelay,

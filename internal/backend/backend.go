@@ -1,0 +1,264 @@
+// Package backend defines the heterogeneous execution substrate of the
+// SENECA serving tier. The paper pushes one U-Net to radically different
+// devices — the related aerial-U-Net work compares CPU, GPU and FPGA
+// workflows head to head — and this package makes those substrates
+// interchangeable behind one interface so a single serve pool can run all
+// of them concurrently and route each micro-batch by a cost model.
+//
+// A Backend couples two halves, mirroring internal/dpu's split:
+//
+//   - functional: every registered backend executes the compiled program
+//     bit-accurately through the INT8 kernels of internal/quant, so a
+//     request's mask does not depend on which device the router picked
+//     (the cross-backend conformance suite pins this, with a documented
+//     per-backend tolerance table for future approximate executors);
+//   - temporal: each backend prices a batch with its own first-order
+//     device model (DPU discrete-event simulation, GPU FP32 roofline,
+//     CPU INT8 roofline), and Cost exposes that prediction — latency plus
+//     energy — to the router before any work is placed.
+//
+// Three executors register themselves at init: "cpu-int8" (host INT8 via
+// internal/quant), "gpu-sim" (internal/gpusim) and "dpu-sim"
+// (internal/vart over internal/dpu). New executors join by calling
+// Register; the conformance suite iterates Kinds and refuses executors
+// without a tolerance entry.
+//
+// Every Execute consults the chaos seams "backend.execute" and
+// "backend.execute.<kind>" (internal/fault), so resilience tests can kill
+// one substrate mid-burst and assert the pool fails over losslessly.
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/energy"
+	"seneca/internal/fault"
+	"seneca/internal/gpusim"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/xmodel"
+)
+
+// Cost is a backend's predicted price for one micro-batch: how long the
+// device would take and how much energy it would burn. The router compares
+// these against its latency SLO and energy budget before placing work.
+type Cost struct {
+	// Latency is the predicted wall time for the whole batch on the device.
+	Latency time.Duration
+	// Joules is the predicted energy for the whole batch.
+	Joules float64
+}
+
+// JoulesPerFrame normalizes the energy prediction to one frame, the unit
+// the router's energy budget is expressed in.
+func (c Cost) JoulesPerFrame(frames int) float64 {
+	if frames < 1 {
+		frames = 1
+	}
+	return c.Joules / float64(frames)
+}
+
+// Backend is one execution substrate for a compiled program. Execute is the
+// functional half (bit-accurate masks, safe for concurrent batches); Cost is
+// the temporal half (a pure prediction — it must not touch the device state
+// and must be safe to call while Execute runs); Health is a cheap self-check
+// the router consults next to the serving tier's circuit breakers.
+type Backend interface {
+	// Name returns the backend kind, e.g. "dpu-sim".
+	Name() string
+	// Execute runs one micro-batch functionally and returns the per-frame
+	// masks in input order plus the simulated throughput/energy report for
+	// the batch. seed perturbs measurement jitter (0 = deterministic).
+	Execute(imgs []*tensor.Tensor, seed int64) ([][]uint8, energy.Report, error)
+	// Cost predicts latency and energy for a batch of the given size.
+	Cost(frames int) Cost
+	// Health reports whether the backend can serve (nil = healthy). It is a
+	// configuration self-check, not a breaker: trip state lives in the pool.
+	Health() error
+}
+
+// Options tunes backend construction. The zero value is usable.
+type Options struct {
+	// Threads is the host submission thread count for backends that fan
+	// frames across workers (dpu-sim, cpu-int8, gpu-sim). Default 4.
+	Threads int
+	// GPU overrides the simulated GPU configuration (nil: RTX2060Mobile,
+	// the paper's baseline).
+	GPU *gpusim.Config
+	// CPU overrides the simulated CPU configuration (nil: EdgeCPUINT8).
+	CPU *CPUConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	return o
+}
+
+// Factory builds one backend instance over a device and compiled program.
+type Factory func(dev *dpu.Device, prog *xmodel.Program, opt Options) (Backend, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a backend kind. Registering an empty name or a
+// duplicate kind is a wiring bug and panics.
+func Register(kind string, f Factory) {
+	if kind == "" || f == nil {
+		panic("backend: Register needs a kind and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("backend: kind %q registered twice", kind))
+	}
+	registry[kind] = f
+}
+
+// Kinds returns the registered backend kinds, sorted. The conformance
+// suite iterates this list, so a newly registered executor is gated the
+// moment it exists.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	kinds := make([]string, 0, len(registry))
+	for k := range registry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// New builds one backend of the given kind.
+func New(kind string, dev *dpu.Device, prog *xmodel.Program, opt Options) (Backend, error) {
+	regMu.RLock()
+	f := registry[kind]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("backend: unknown kind %q (registered: %s)", kind, strings.Join(Kinds(), ", "))
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("backend: %s: nil program", kind)
+	}
+	return f(dev, prog, opt.withDefaults())
+}
+
+// ParseSpec expands a pool specification — a comma-separated list of
+// "kind" or "kind:count" entries, e.g. "dpu-sim:2,cpu-int8,gpu-sim" — into
+// one kind per pool slot. Kinds are validated against the registry.
+func ParseSpec(spec string) ([]string, error) {
+	var kinds []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, countStr, hasCount := strings.Cut(entry, ":")
+		kind = strings.TrimSpace(kind)
+		count := 1
+		if hasCount {
+			var err error
+			count, err = strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("backend: bad count in spec entry %q", entry)
+			}
+		}
+		regMu.RLock()
+		_, known := registry[kind]
+		regMu.RUnlock()
+		if !known {
+			return nil, fmt.Errorf("backend: unknown kind %q in spec (registered: %s)", kind, strings.Join(Kinds(), ", "))
+		}
+		for i := 0; i < count; i++ {
+			kinds = append(kinds, kind)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("backend: empty pool spec %q", spec)
+	}
+	return kinds, nil
+}
+
+// Build constructs one backend per slot of a pool spec.
+func Build(spec string, dev *dpu.Device, prog *xmodel.Program, opt Options) ([]Backend, error) {
+	kinds, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]Backend, len(kinds))
+	for i, kind := range kinds {
+		if pool[i], err = New(kind, dev, prog, opt); err != nil {
+			return nil, err
+		}
+	}
+	return pool, nil
+}
+
+// checkFaults consults the generic and per-kind chaos seams one batch
+// execution passes through. Unprogrammed points cost one atomic load.
+func checkFaults(kind string) error {
+	if err := fault.Check("backend.execute"); err != nil {
+		return err
+	}
+	return fault.Check("backend.execute." + kind)
+}
+
+// executeINT8 runs one batch bit-accurately through the quantized graph's
+// pooled executors, fanning frames across the given number of host worker
+// threads exactly as the VART runtime does. Masks come back in input order.
+func executeINT8(g *quant.QGraph, imgs []*tensor.Tensor, threads int) ([][]uint8, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	masks := make([][]uint8, len(imgs))
+	errs := make([]error, len(imgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				masks[idx], errs[idx] = g.ExecuteLabels(imgs[idx])
+			}
+		}()
+	}
+	for i := range imgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("backend: frame %d: %w", i, err)
+		}
+	}
+	return masks, nil
+}
+
+// jitteredReport integrates frames × perFrame at constant watts into a
+// throughput/energy report, adding the small frame-to-frame measurement
+// noise real boards show when seed is nonzero (the µ±σ of repeated runs the
+// paper's tables report).
+func jitteredReport(frames int, perFrame time.Duration, watts, rel float64, seed int64) energy.Report {
+	var log energy.Logger
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < frames; i++ {
+		f := perFrame
+		if seed != 0 && rel > 0 {
+			f = time.Duration(float64(perFrame) * (1 + rel*(rng.Float64()*2-1)))
+		}
+		log.Record(f, watts)
+	}
+	return energy.Report{Frames: frames, Duration: log.Duration(), Joules: log.Joules()}
+}

@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+
+	"seneca/internal/fault"
+)
+
+// TestChaosFaultSeams verifies each backend honors both the generic
+// "backend.execute" seam and its per-kind "backend.execute.<kind>" seam,
+// and recovers cleanly once the programmed fault is spent — the contract
+// the serving tier's failover chaos suite injects against.
+func TestChaosFaultSeams(t *testing.T) {
+	const size = 16
+	dev, prog := testProgram(t, size)
+	imgs := randomImages(size, 2, 3)
+	boom := errors.New("injected backend fault")
+
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			be, err := New(kind, dev, prog, Options{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, point := range []string{"backend.execute", "backend.execute." + kind} {
+				fault.Reset()
+				fault.Enable(point, fault.Fault{Prob: 1, Count: 1, Err: boom})
+				if _, _, err := be.Execute(imgs, 0); !errors.Is(err, boom) {
+					t.Fatalf("%s armed: Execute error = %v, want injected fault", point, err)
+				}
+				// The fault count is spent: the very next batch succeeds.
+				masks, _, err := be.Execute(imgs, 0)
+				if err != nil {
+					t.Fatalf("%s spent: Execute error = %v, want success", point, err)
+				}
+				if len(masks) != len(imgs) {
+					t.Fatalf("%s spent: %d masks for %d images", point, len(masks), len(imgs))
+				}
+				fault.Reset()
+			}
+
+			// A foreign kind's seam never fires for this backend.
+			fault.Reset()
+			fault.Enable("backend.execute.no-such-kind", fault.Fault{Prob: 1, Err: boom})
+			if _, _, err := be.Execute(imgs, 0); err != nil {
+				t.Fatalf("foreign seam leaked into %s: %v", kind, err)
+			}
+			fault.Reset()
+		})
+	}
+}

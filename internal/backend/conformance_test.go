@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"testing"
+)
+
+// conformanceTolerance is the documented per-backend accuracy contract:
+// the maximum fraction of pixels whose label may differ from the reference
+// INT8 execution. Every registered kind MUST have an entry — the suite
+// fails the moment a new executor registers without declaring its
+// tolerance. All current backends execute the quantized graph through the
+// same INT8 kernels, so their tolerance is exactly zero (bit-identical
+// masks); a future approximate executor (e.g. a pruned or FP16 variant)
+// would register a nonzero bound here and document why.
+var conformanceTolerance = map[string]float64{
+	KindCPUInt8: 0,
+	KindDPUSim:  0,
+	KindGPUSim:  0,
+}
+
+// TestConformanceAllBackends runs the synthetic phantom slice set through
+// every registered backend and holds each one to its declared tolerance
+// against the reference INT8 path (the quantized graph executed directly).
+func TestConformanceAllBackends(t *testing.T) {
+	const size = 32
+	dev, prog := testProgram(t, size)
+	imgs := phantomImages(t, size)
+	if len(imgs) == 0 {
+		t.Fatal("phantom set is empty")
+	}
+
+	// Reference: the bit-accurate INT8 execution of the compiled graph.
+	ref := make([][]uint8, len(imgs))
+	for i, img := range imgs {
+		var err error
+		ref[i], err = prog.Graph.ExecuteLabels(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			tol, ok := conformanceTolerance[kind]
+			if !ok {
+				t.Fatalf("backend kind %q has no conformance tolerance entry; every registered executor must declare one", kind)
+			}
+			be, err := New(kind, dev, prog, Options{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			masks, rep, err := be.Execute(imgs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(masks) != len(imgs) {
+				t.Fatalf("%d masks for %d images", len(masks), len(imgs))
+			}
+			if rep.Frames != len(imgs) || rep.Duration <= 0 || rep.Joules <= 0 {
+				t.Fatalf("degenerate report %+v", rep)
+			}
+			for i := range masks {
+				if len(masks[i]) != len(ref[i]) {
+					t.Fatalf("frame %d: mask length %d, want %d", i, len(masks[i]), len(ref[i]))
+				}
+				diff := 0
+				for j := range ref[i] {
+					if masks[i][j] != ref[i][j] {
+						diff++
+					}
+				}
+				frac := float64(diff) / float64(len(ref[i]))
+				if frac > tol {
+					t.Fatalf("frame %d: %d/%d pixels (%.4f) differ from the reference INT8 path, tolerance %.4f",
+						i, diff, len(ref[i]), frac, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceDeterministic pins that a backend's Execute is a pure
+// function of its inputs at seed 0: two runs agree bit for bit (the chaos
+// suite's failover assertions lean on this).
+func TestConformanceDeterministic(t *testing.T) {
+	const size = 16
+	dev, prog := testProgram(t, size)
+	imgs := randomImages(size, 4, 11)
+	for _, kind := range Kinds() {
+		be, err := New(kind, dev, prog, Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, repA, err := be.Execute(imgs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, repB, err := be.Execute(imgs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: frame %d diverges between identical runs at %d", kind, i, j)
+				}
+			}
+		}
+		if repA.Duration != repB.Duration || repA.Joules != repB.Joules {
+			t.Fatalf("%s: seed-0 reports differ: %+v vs %+v", kind, repA, repB)
+		}
+	}
+}

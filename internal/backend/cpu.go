@@ -1,0 +1,126 @@
+package backend
+
+import (
+	"errors"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/energy"
+	"seneca/internal/tensor"
+	"seneca/internal/xmodel"
+)
+
+// KindCPUInt8 is the host-CPU INT8 deployment: the quantized network
+// executed by vectorized integer kernels on a general-purpose edge server —
+// the CPU column of the aerial-U-Net comparison.
+const KindCPUInt8 = "cpu-int8"
+
+// CPUConfig describes a simulated CPU inference node. Like the GPU model it
+// is a first-order roofline: each instruction costs
+// max(ops/throughput, bytes/bandwidth), frames run back to back (the
+// vectorized kernels already use every core inside one frame), and power
+// under sustained AVX integer load is modelled as a constant draw.
+type CPUConfig struct {
+	Name string
+	// EffOpsPerSec is the sustained INT8 op throughput across all cores
+	// (well below peak for im2col-shaped GEMMs with requantization).
+	EffOpsPerSec float64
+	// MemBW is the sustained memory bandwidth in bytes/s.
+	MemBW float64
+	// PerFrameOverhead is the per-frame host cost (input scaling, im2col
+	// setup, argmax write-back).
+	PerFrameOverhead time.Duration
+	// ActiveWatts is the package+DRAM draw under sustained vector load.
+	ActiveWatts float64
+}
+
+// EdgeCPUINT8 returns the default CPU node: an 8-core x86 edge server
+// running the INT8 network with AVX2 integer kernels.
+func EdgeCPUINT8() CPUConfig {
+	return CPUConfig{
+		Name:             "8-core x86 edge node (INT8, AVX2)",
+		EffOpsPerSec:     160e9,
+		MemBW:            20e9,
+		PerFrameOverhead: 800 * time.Microsecond,
+		ActiveWatts:      38.0,
+	}
+}
+
+func init() {
+	Register(KindCPUInt8, func(_ *dpu.Device, prog *xmodel.Program, opt Options) (Backend, error) {
+		cfg := EdgeCPUINT8()
+		if opt.CPU != nil {
+			cfg = *opt.CPU
+		}
+		if cfg.EffOpsPerSec <= 0 || cfg.MemBW <= 0 {
+			return nil, errors.New("backend: cpu-int8 needs positive throughput and bandwidth")
+		}
+		b := &cpuInt8{prog: prog, cfg: cfg, threads: opt.Threads}
+		b.frame = b.frameLatency()
+		return b, nil
+	})
+}
+
+// cpuInt8 executes the quantized graph bit-accurately on the host (it IS
+// the reference INT8 path) and prices it with the CPU roofline.
+type cpuInt8 struct {
+	prog    *xmodel.Program
+	cfg     CPUConfig
+	threads int
+	frame   time.Duration // cached single-frame latency
+}
+
+func (b *cpuInt8) Name() string { return KindCPUInt8 }
+
+func (b *cpuInt8) Health() error {
+	if b.frame <= 0 {
+		return errors.New("backend: cpu-int8 frame model degenerate")
+	}
+	return nil
+}
+
+// frameLatency prices one frame: per-instruction max(compute, memory) plus
+// the fixed host overhead. The instruction stream's byte counts are INT8
+// (the CPU runs the same quantized artifact), so no FP32 inflation.
+func (b *cpuInt8) frameLatency() time.Duration {
+	var total time.Duration
+	for _, in := range b.prog.Instructions {
+		var ops, bytes float64
+		switch in.Op {
+		case xmodel.OpConv, xmodel.OpDConv:
+			ops = 2 * float64(in.MACs)
+			bytes = float64(in.InBytes + in.OutBytes + in.WeightBytes)
+		case xmodel.OpPool, xmodel.OpConcat, xmodel.OpSave, xmodel.OpLoad:
+			bytes = float64(in.InBytes + in.OutBytes)
+		default:
+			continue
+		}
+		compute := time.Duration(ops / b.cfg.EffOpsPerSec * float64(time.Second))
+		mem := time.Duration(bytes / b.cfg.MemBW * float64(time.Second))
+		if mem > compute {
+			compute = mem
+		}
+		total += compute
+	}
+	return total + b.cfg.PerFrameOverhead
+}
+
+func (b *cpuInt8) Execute(imgs []*tensor.Tensor, seed int64) ([][]uint8, energy.Report, error) {
+	if err := checkFaults(KindCPUInt8); err != nil {
+		return nil, energy.Report{}, err
+	}
+	masks, err := executeINT8(b.prog.Graph, imgs, b.threads)
+	if err != nil {
+		return nil, energy.Report{}, err
+	}
+	// ±1% frame-to-frame noise (thermals, scheduler).
+	return masks, jitteredReport(len(imgs), b.frame, b.cfg.ActiveWatts, 0.01, seed), nil
+}
+
+func (b *cpuInt8) Cost(frames int) Cost {
+	if frames < 1 {
+		frames = 1
+	}
+	lat := time.Duration(int64(b.frame) * int64(frames))
+	return Cost{Latency: lat, Joules: b.cfg.ActiveWatts * lat.Seconds()}
+}

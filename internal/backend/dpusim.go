@@ -1,0 +1,62 @@
+package backend
+
+import (
+	"errors"
+
+	"seneca/internal/dpu"
+	"seneca/internal/energy"
+	"seneca/internal/tensor"
+	"seneca/internal/vart"
+	"seneca/internal/xmodel"
+)
+
+// KindDPUSim is the simulated dual-core DPUCZDX8G deployment — the paper's
+// own substrate and the pool's reference executor.
+const KindDPUSim = "dpu-sim"
+
+func init() {
+	Register(KindDPUSim, func(dev *dpu.Device, prog *xmodel.Program, opt Options) (Backend, error) {
+		if dev == nil {
+			return nil, errors.New("backend: dpu-sim needs a device")
+		}
+		return &dpuSim{r: vart.New(dev, prog, opt.Threads)}, nil
+	})
+}
+
+// dpuSim wraps the VART runtime: functional execution through the device's
+// pooled INT8 executors, timing from the discrete-event model that
+// reproduces the paper's thread-scaling behaviour (Section IV-B).
+type dpuSim struct {
+	r *vart.Runner
+}
+
+func (b *dpuSim) Name() string { return KindDPUSim }
+
+func (b *dpuSim) Health() error {
+	if b.r.Threads < 1 {
+		return vart.ErrNoThreads
+	}
+	return nil
+}
+
+func (b *dpuSim) Execute(imgs []*tensor.Tensor, seed int64) ([][]uint8, energy.Report, error) {
+	if err := checkFaults(KindDPUSim); err != nil {
+		return nil, energy.Report{}, err
+	}
+	masks, res, err := b.r.Run(imgs, seed)
+	if err != nil {
+		return nil, energy.Report{}, err
+	}
+	return masks, res.Report, nil
+}
+
+func (b *dpuSim) Cost(frames int) Cost {
+	if frames < 1 {
+		frames = 1
+	}
+	res, err := b.r.SimulateThroughput(frames, 0)
+	if err != nil {
+		return Cost{}
+	}
+	return Cost{Latency: res.Duration, Joules: res.Joules}
+}

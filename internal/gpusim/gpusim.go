@@ -14,6 +14,7 @@ import (
 
 	"seneca/internal/energy"
 	"seneca/internal/graph"
+	"seneca/internal/xmodel"
 )
 
 // Config describes the GPU device and software stack.
@@ -81,6 +82,41 @@ func (d *Device) FrameLatency(g *graph.Graph) time.Duration {
 		default:
 			// Elementwise / pooling / concat / softmax: memory bound.
 			bytes = 4 * 2 * outElems
+		}
+		compute := time.Duration(flops / d.Cfg.EffFLOPS * float64(time.Second))
+		mem := time.Duration(bytes / d.Cfg.EffMemBW * float64(time.Second))
+		layer := compute
+		if mem > layer {
+			layer = mem
+		}
+		total += layer
+		ops++
+	}
+	total += time.Duration(float64(ops) * d.Cfg.KernelsPerOp * float64(d.Cfg.KernelOverhead))
+	total += d.Cfg.HostPerFrame
+	return total
+}
+
+// TimeProgram models one FP32 inference of a compiled program's instruction
+// stream — the same network the DPU runs, re-exported to the GPU's FP32
+// stack. The roofline is identical to FrameLatency but prices the xmodel
+// workload descriptors directly (FLOPs = 2·MACs; feature-map and weight
+// traffic ×4 for FP32), so the serving tier's GPU backend can cost a batch
+// from the deployed artifact without retaining the FP32 graph.
+func (d *Device) TimeProgram(p *xmodel.Program) time.Duration {
+	var total time.Duration
+	ops := 0
+	for _, in := range p.Instructions {
+		var flops, bytes float64
+		switch in.Op {
+		case xmodel.OpConv, xmodel.OpDConv:
+			flops = 2 * float64(in.MACs)
+			bytes = 4 * float64(in.InBytes+in.OutBytes+in.WeightBytes)
+		case xmodel.OpPool, xmodel.OpConcat, xmodel.OpSave, xmodel.OpLoad:
+			// Elementwise / data movement: memory bound.
+			bytes = 4 * float64(in.InBytes+in.OutBytes)
+		default:
+			continue
 		}
 		compute := time.Duration(flops / d.Cfg.EffFLOPS * float64(time.Second))
 		mem := time.Duration(bytes / d.Cfg.EffMemBW * float64(time.Second))

@@ -4,17 +4,18 @@ import (
 	"fmt"
 	"time"
 
+	"seneca/internal/energy"
 	"seneca/internal/tensor"
-	"seneca/internal/vart"
 )
 
 // batchLoop is the heart of the serving tier: it pulls admitted jobs off
 // the queue, coalesces them into micro-batches, and dispatches each batch
-// to a claimed worker (the least-loaded healthy one, or a half-open probe
-// when none is healthy — see claimWorker). Dispatch capacity is bounded by
-// the slot semaphore (Runners × Pipeline tokens): when every runner is
-// saturated the loop blocks here, the queue fills behind it, and Submit
-// starts rejecting — that is the explicit backpressure path.
+// to a claimed worker (cost-model routed across the heterogeneous backend
+// pool, or a half-open probe when a breaker is recovering — see
+// claimWorker). Dispatch capacity is bounded by the slot semaphore (pool
+// size × Pipeline tokens): when every backend is saturated the loop blocks
+// here, the queue fills behind it, and Submit starts rejecting — that is
+// the explicit backpressure path.
 func (s *Server) batchLoop() {
 	defer s.batcher.Done()
 	for {
@@ -42,9 +43,10 @@ func (s *Server) batchLoop() {
 			timer.Stop()
 		}
 
-		<-s.slots // backpressure point: wait for runner capacity
-		w := s.claimWorker()
+		<-s.slots // backpressure point: wait for backend capacity
+		w := s.claimWorker(len(batch))
 		w.inflight.Add(1)
+		w.staged.Add(int64(len(batch)))
 		s.inflight.Add(1)
 		go func(batch []*job, w *worker) {
 			defer s.inflight.Done()
@@ -54,11 +56,11 @@ func (s *Server) batchLoop() {
 }
 
 // dispatch runs one micro-batch on a claimed worker under the watchdog:
-// expired jobs are failed without touching the accelerator, the rest
-// execute functionally (bit-accurate INT8) while the discrete-event model
-// prices the batch. A batch that errors or outlives WatchdogTimeout counts
+// expired jobs are failed without touching the backend, the rest execute
+// functionally (bit-accurate INT8) while the backend's device model prices
+// the batch. A batch that errors or outlives WatchdogTimeout counts
 // against the worker's breaker and its jobs go back through the queue for
-// another runner (failOrRedispatch), so clients only observe an error once
+// another backend (failOrRedispatch), so clients only observe an error once
 // a job's redispatch budget is spent.
 func (s *Server) dispatch(w *worker, batch []*job) {
 	defer func() { s.slots <- struct{}{} }()
@@ -73,10 +75,13 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 		}
 		live = append(live, j)
 	}
+	w.staged.Add(-int64(len(batch)))
 	if len(live) == 0 {
 		w.releaseClaim() // a half-open probe that never ran stays claimable
 		return
 	}
+	w.inflightFrames.Add(int64(len(live)))
+	defer w.inflightFrames.Add(-int64(len(live)))
 	imgs := make([]*tensor.Tensor, len(live))
 	for i, j := range live {
 		imgs[i] = j.img
@@ -86,21 +91,25 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 		seed += s.seq.Add(1)
 	}
 
-	// The runner executes in an inner goroutine that reports on a buffered
+	// The backend executes in an inner goroutine that reports on a buffered
 	// channel; this goroutine keeps sole ownership of the jobs and decides
-	// between the result and the watchdog deadline. A stalled runner's late
-	// result is simply never read — the runner itself has already been
+	// between the result and the watchdog deadline. A stalled backend's late
+	// result is simply never read — the backend itself has already been
 	// evicted by recordFailure, so nothing dispatches to it again.
 	type runOut struct {
 		masks [][]uint8
-		res   vart.Result
+		res   energy.Report
 		err   error
 	}
-	runner := w.getRunner()
+	be := w.getBackend()
+	w.dispatched.Add(1)
+	if w.mDispatch != nil {
+		w.mDispatch.Inc()
+	}
 	ch := make(chan runOut, 1)
 	execStart := time.Now()
 	go func() {
-		masks, res, err := runner.Run(imgs, seed)
+		masks, res, err := be.Execute(imgs, seed)
 		ch <- runOut{masks: masks, res: res, err: err}
 	}()
 	var out runOut
@@ -121,13 +130,18 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 	w.recordSuccess()
 	if s.cfg.SimPace > 0 {
 		// Hold the slot until the batch's paced wall time has elapsed: the
-		// modelled board would still be busy, so the replica must be too.
+		// modelled device would still be busy, so the replica must be too.
 		target := time.Duration(s.cfg.SimPace * float64(out.res.Duration))
 		if elapsed := time.Since(execStart); elapsed < target {
 			time.Sleep(target - elapsed)
 		}
 	}
 	s.stats.recordBatch(len(live), out.res)
+	w.recordSim(out.res)
+	w.framesDone.Add(int64(len(live)))
+	if w.mBatchLat != nil {
+		w.mBatchLat.Observe(out.res.Duration.Seconds())
+	}
 	s.mOccupancy.Observe(float64(len(live)))
 	now := time.Now()
 	for i, j := range live {
@@ -140,7 +154,7 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 }
 
 // failOrRedispatch returns a failed batch's jobs to the admission queue so
-// a (different, or freshly replaced) runner retries them transparently. A
+// a (different, or freshly replaced) backend retries them transparently. A
 // job fails to its client only when its redispatch budget is spent, the
 // queue is full, or the server is draining (batchLoop is exiting, so a
 // re-queued job could be stranded).

@@ -5,14 +5,16 @@ import (
 	"sync/atomic"
 	"time"
 
-	"seneca/internal/vart"
+	"seneca/internal/backend"
+	"seneca/internal/energy"
+	"seneca/internal/obs"
 )
 
 // BreakerState is one worker's circuit-breaker position.
 type BreakerState int32
 
 // Breaker states. A worker starts Closed; BreakerThreshold consecutive
-// failures trip it Open (its runner is evicted and replaced); after
+// failures trip it Open (its backend is evicted and replaced); after
 // BreakerCooldown it admits a single HalfOpen probe batch whose outcome
 // either closes the breaker or re-opens it (evicting again).
 const (
@@ -34,28 +36,46 @@ func (b BreakerState) String() string {
 	return "unknown"
 }
 
-// worker wraps one pooled runner with its load counters and health state.
+// worker wraps one pooled backend with its load counters and health state.
 // The breaker fields are guarded by mu; the load counters stay atomics so
-// leastLoaded scans and the stats snapshot never contend with dispatch.
+// router scans and the stats snapshot never contend with dispatch.
 type worker struct {
-	id       int
-	inflight atomic.Int32
-	batches  atomic.Int64
+	id   int
+	kind string // backend kind this slot runs, e.g. "dpu-sim"
+
+	inflight       atomic.Int32 // batches executing or staged on this worker
+	inflightFrames atomic.Int64 // frames currently executing
+	staged         atomic.Int64 // frames routed here but not yet executing
+	batches        atomic.Int64 // batches that finished (success or failure)
+	dispatched     atomic.Int64 // batches handed to the backend's Execute
+	framesDone     atomic.Int64 // frames completed successfully
+
+	// Per-backend metric handles, shared by every worker of the same kind
+	// (set by initMetrics; nil when metrics are disabled in tests that
+	// construct workers by hand).
+	mDispatch *obs.Counter
+	mBatchLat *obs.Histogram
 
 	mu        sync.Mutex
-	runner    *vart.Runner
+	be        backend.Backend
+	mk        func() backend.Backend // eviction factory: builds a fresh backend
 	state     BreakerState
 	fails     int       // consecutive failures since the last success
 	openUntil time.Time // when an Open breaker admits its probe
 	probing   bool      // a HalfOpen probe batch is in flight
+
+	simMu     sync.Mutex
+	simBusy   time.Duration // accumulated simulated device-busy time
+	simJoules float64
+	simFrames int
 }
 
-// getRunner returns the worker's current runner (replaced on eviction, so
+// getBackend returns the worker's current backend (replaced on eviction, so
 // dispatch must read it through here rather than caching it).
-func (w *worker) getRunner() *vart.Runner {
+func (w *worker) getBackend() backend.Backend {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.runner
+	return w.be
 }
 
 // breaker returns the current breaker state.
@@ -66,8 +86,13 @@ func (w *worker) breaker() BreakerState {
 }
 
 // healthy reports whether the worker serves regular traffic (breaker
-// closed). Open and half-open workers count as degraded capacity.
-func (w *worker) healthy() bool { return w.breaker() == BreakerClosed }
+// closed and the backend's own self-check passes). Open and half-open
+// workers count as degraded capacity.
+func (w *worker) healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state == BreakerClosed && w.be.Health() == nil
+}
 
 // tryClaim attempts to reserve the worker for one batch. A Closed worker
 // always admits (Pipeline may put several batches in flight); an Open
@@ -117,7 +142,7 @@ func (w *worker) recordSuccess() {
 // recordFailure counts one batch failure (error or watchdog stall) and
 // returns true when it tripped the breaker open — at BreakerThreshold
 // consecutive failures from Closed, or immediately on a failed HalfOpen
-// probe. Tripping evicts the broken runner and installs a fresh one built
+// probe. Tripping evicts the broken backend and installs a fresh one built
 // from the retained device and program, so the cooldown-then-probe cycle
 // exercises a clean runtime rather than the wedged one.
 func (w *worker) recordFailure(s *Server) (tripped bool) {
@@ -136,27 +161,45 @@ func (w *worker) recordFailure(s *Server) (tripped bool) {
 	}
 	w.state = BreakerOpen
 	w.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
-	w.runner = vart.New(s.dev, s.prog, s.cfg.Threads)
+	if w.mk != nil {
+		if nb := w.mk(); nb != nil {
+			w.be = nb
+		}
+	}
 	s.stats.evictions.Add(1)
 	return true
 }
 
-// claimWorker blocks until some worker admits a batch. An open worker
-// whose cooldown has expired takes priority — its half-open probe is the
-// only way the pool regains capacity, and the broken runner behind it has
-// already been replaced — otherwise the least-loaded closed worker takes
-// the batch. With every breaker open and cooling, it polls: capacity is
-// gone, the queue backs up behind the slot semaphore, and Submit's
-// backpressure path takes over.
-func (s *Server) claimWorker() *worker {
+// recordSim folds one executed batch's simulated report into the worker's
+// per-backend deployment accumulator (the per-kind FPS and FPS/W series).
+func (w *worker) recordSim(res energy.Report) {
+	w.simMu.Lock()
+	w.simBusy += res.Duration
+	w.simJoules += res.Joules
+	w.simFrames += res.Frames
+	w.simMu.Unlock()
+}
+
+// claimWorker blocks until some worker admits a batch of the given frame
+// count. An open worker whose cooldown has expired takes priority — its
+// half-open probe is the only way the pool regains capacity, and the broken
+// backend behind it has already been replaced — otherwise the cost-model
+// router places the batch: each healthy worker is priced by its backend's
+// Cost prediction and current load, and backend.Route picks under the
+// configured latency SLO and energy budget (a homogeneous pool degenerates
+// to plain least-loaded dispatch). With every breaker open and cooling, it
+// polls: capacity is gone, the queue backs up behind the slot semaphore,
+// and Submit's backpressure path takes over.
+func (s *Server) claimWorker(frames int) *worker {
 	wait := s.cfg.BreakerCooldown / 16
 	if wait <= 0 || wait > 5*time.Millisecond {
 		wait = 5 * time.Millisecond
 	}
+	cands := make([]backend.Candidate, len(s.pool))
 	for {
 		now := time.Now()
 		for _, w := range s.pool {
-			if w.healthy() {
+			if w.breaker() == BreakerClosed {
 				continue
 			}
 			if ok, probe := w.tryClaim(now); ok {
@@ -166,18 +209,16 @@ func (s *Server) claimWorker() *worker {
 				return w
 			}
 		}
-		var best *worker
-		for _, w := range s.pool {
-			if !w.healthy() {
-				continue
-			}
-			if best == nil || w.inflight.Load() < best.inflight.Load() {
-				best = w
+		for i, w := range s.pool {
+			cands[i] = backend.Candidate{
+				Cost:     w.getBackend().Cost(frames),
+				Healthy:  w.healthy(),
+				InFlight: int(w.inflight.Load()),
 			}
 		}
-		if best != nil {
-			if ok, _ := best.tryClaim(now); ok {
-				return best
+		if i := backend.Route(s.router, frames, cands); i >= 0 {
+			if ok, _ := s.pool[i].tryClaim(now); ok {
+				return s.pool[i]
 			}
 		}
 		time.Sleep(wait)
@@ -193,23 +234,26 @@ type Health struct {
 	Runners  int  `json:"runners"`
 	Healthy  int  `json:"healthy_runners"`
 	Degraded bool `json:"degraded"`
-	// Breakers holds each worker's breaker state, by worker id.
+	// Breakers holds each worker's breaker state, by worker id; Backends
+	// holds the backend kind each worker runs, in the same order.
 	Breakers []string `json:"breakers"`
-	// Evictions counts runners replaced after tripping a breaker; Probes
+	Backends []string `json:"backends"`
+	// Evictions counts backends replaced after tripping a breaker; Probes
 	// counts half-open probe batches; Redispatches counts jobs re-queued
 	// out of failed or stalled batches; WatchdogTimeouts counts batches
-	// reclaimed from a stalled runner.
+	// reclaimed from a stalled backend.
 	Evictions        uint64 `json:"evictions"`
 	Probes           uint64 `json:"probes"`
 	Redispatches     uint64 `json:"redispatches"`
 	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
 }
 
-// Health snapshots the self-healing state of the runner pool.
+// Health snapshots the self-healing state of the backend pool.
 func (s *Server) Health() Health {
 	h := Health{
 		Runners:          len(s.pool),
 		Breakers:         make([]string, len(s.pool)),
+		Backends:         make([]string, len(s.pool)),
 		Evictions:        s.stats.evictions.Load(),
 		Probes:           s.stats.probes.Load(),
 		Redispatches:     s.stats.redispatched.Load(),
@@ -218,6 +262,7 @@ func (s *Server) Health() Health {
 	for i, w := range s.pool {
 		st := w.breaker()
 		h.Breakers[i] = st.String()
+		h.Backends[i] = w.kind
 		if st == BreakerClosed {
 			h.Healthy++
 		}

@@ -104,8 +104,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if h.Healthy == 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	fmt.Fprintf(w, "{\"status\":%q,\"draining\":false,\"model\":%q,\"runners\":%d,\"healthy_runners\":%d,\"degraded\":%t}\n",
-		status, s.prog.Name, h.Runners, h.Healthy, h.Degraded)
+	kinds, _ := json.Marshal(h.Backends)
+	fmt.Fprintf(w, "{\"status\":%q,\"draining\":false,\"model\":%q,\"runners\":%d,\"healthy_runners\":%d,\"degraded\":%t,\"backends\":%s}\n",
+		status, s.prog.Name, h.Runners, h.Healthy, h.Degraded, kinds)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"strconv"
+	"time"
 
 	"seneca/internal/obs"
 )
@@ -83,6 +84,89 @@ func (s *Server) initMetrics(reg *obs.Registry) {
 	reg.CounterFunc("seneca_serve_watchdog_timeouts_total",
 		"Batches reclaimed from a runner that stalled past WatchdogTimeout.",
 		s.stats.watchdog.Load)
+
+	// Per-backend series: workers of the same kind share one labelled
+	// handle (dispatch counter, batch-latency histogram) and the callback
+	// series sum over the kind's workers, so a "dpu-sim:2" pool reports
+	// one dpu-sim row, not two.
+	byKind := map[string][]*worker{}
+	var kindOrder []string
+	for _, w := range s.pool {
+		if _, seen := byKind[w.kind]; !seen {
+			kindOrder = append(kindOrder, w.kind)
+		}
+		byKind[w.kind] = append(byKind[w.kind], w)
+	}
+	for _, kind := range kindOrder {
+		ws := byKind[kind]
+		lbl := obs.L("backend", kind)
+		mDispatch := reg.Counter("seneca_backend_dispatch_total",
+			"Micro-batches dispatched, by backend kind.", lbl)
+		mBatchLat := reg.Histogram("seneca_backend_batch_latency_seconds",
+			"Simulated device latency per executed micro-batch, by backend kind.",
+			obs.DefBuckets, lbl)
+		for _, w := range ws {
+			w.mDispatch = mDispatch
+			w.mBatchLat = mBatchLat
+		}
+		reg.CounterFunc("seneca_backend_frames_total",
+			"Frames completed, by backend kind.",
+			func() uint64 {
+				var n uint64
+				for _, w := range ws {
+					n += uint64(w.framesDone.Load())
+				}
+				return n
+			}, lbl)
+		reg.GaugeFunc("seneca_backend_inflight_batches",
+			"Micro-batches currently held (staged or executing), by backend kind.",
+			func() float64 {
+				var n int32
+				for _, w := range ws {
+					n += w.inflight.Load()
+				}
+				return float64(n)
+			}, lbl)
+		reg.GaugeFunc("seneca_backend_queued_frames",
+			"Frames routed to the backend kind but not yet executing.",
+			func() float64 {
+				var n int64
+				for _, w := range ws {
+					n += w.staged.Load()
+				}
+				return float64(n)
+			}, lbl)
+		sumSim := func(f func(BackendStats) float64) func() float64 {
+			return func() float64 {
+				var busy time.Duration
+				var joules float64
+				var frames int
+				for _, w := range ws {
+					w.simMu.Lock()
+					busy += w.simBusy
+					joules += w.simJoules
+					frames += w.simFrames
+					w.simMu.Unlock()
+				}
+				var bs BackendStats
+				if busy > 0 {
+					sec := busy.Seconds()
+					bs.SimFPS = float64(frames) / sec
+					bs.SimWatts = joules / sec
+					if bs.SimWatts > 0 {
+						bs.SimFPSPerWatt = bs.SimFPS / bs.SimWatts
+					}
+				}
+				return f(bs)
+			}
+		}
+		reg.GaugeFunc("seneca_backend_sim_fps",
+			"Simulated throughput of the backend kind for its traffic so far.",
+			sumSim(func(bs BackendStats) float64 { return bs.SimFPS }), lbl)
+		reg.GaugeFunc("seneca_backend_sim_fps_per_watt",
+			"Simulated energy efficiency of the backend kind (FPS per watt).",
+			sumSim(func(bs BackendStats) float64 { return bs.SimFPSPerWatt }), lbl)
+	}
 
 	s.mLatency = reg.Histogram("seneca_serve_request_latency_seconds",
 		"End-to-end request latency from admission to completion.",

@@ -1,7 +1,7 @@
 // Package serve is the online deployment tier of the SENECA stack: it
-// turns a pool of vart.Runners into an inference service that sustains
-// heavy concurrent traffic the way the paper's evaluation sustains batch
-// throughput (Section IV-B).
+// turns a pool of execution backends into an inference service that
+// sustains heavy concurrent traffic the way the paper's evaluation
+// sustains batch throughput (Section IV-B).
 //
 // Architecture, front to back:
 //
@@ -10,19 +10,26 @@
 //	                    explicit backpressure (HTTP 429 + Retry-After)
 //	micro-batcher       coalesces queued requests up to MaxBatch or
 //	                    MaxDelay, whichever comes first
-//	runner pool         batches dispatch to the least-loaded vart.Runner;
-//	                    each runner executes functionally (bit-accurate
-//	                    INT8 masks) and accumulates simulated FPS/W.
-//	                    Frames draw scratch arenas from the device's
-//	                    executor pool and the INT8 kernels respect
-//	                    internal/par's global worker budget, so concurrent
-//	                    batches neither allocate per layer nor
+//	backend pool        batches route to a heterogeneous pool of
+//	                    internal/backend executors (dpu-sim, cpu-int8,
+//	                    gpu-sim — see Config.Backends) by a cost model:
+//	                    each backend predicts latency and energy for the
+//	                    batch, and backend.Route places it under the
+//	                    configured latency SLO and energy budget, falling
+//	                    back to least-loaded on ties. Every backend
+//	                    executes functionally (bit-accurate INT8 masks, so
+//	                    results never depend on placement) and accumulates
+//	                    simulated FPS/W per kind. Frames draw scratch
+//	                    arenas from pooled executors and the INT8 kernels
+//	                    respect internal/par's global worker budget, so
+//	                    concurrent batches neither allocate per layer nor
 //	                    oversubscribe the host cores
 //
 // Every request carries a context.Context: deadlines expire work that is
 // still queued, and Shutdown drains everything already admitted without
 // dropping it. serve.Stats exposes the queue, latency quantiles, batch
-// occupancy and the discrete-event deployment estimate.
+// occupancy and per-backend occupancy plus the discrete-event deployment
+// estimate, per kind and pool-wide.
 package serve
 
 import (
@@ -33,19 +40,34 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seneca/internal/backend"
 	"seneca/internal/dpu"
 	"seneca/internal/obs"
 	"seneca/internal/tensor"
-	"seneca/internal/vart"
 	"seneca/internal/xmodel"
 )
 
 // Config tunes the serving tier. The zero value is usable: every field
 // defaults to the values noted below.
 type Config struct {
-	// Runners is the number of vart.Runner instances in the dispatch pool
-	// (each models one deployed runtime process on the board). Default 1.
+	// Runners is the number of executor instances in the dispatch pool
+	// (each models one deployed runtime process). When Backends is set it
+	// is ignored: the pool size comes from the spec. Default 1.
 	Runners int
+	// Backends is the heterogeneous pool specification: a comma-separated
+	// list of "kind" or "kind:count" entries drawn from backend.Kinds(),
+	// e.g. "dpu-sim:2,cpu-int8,gpu-sim". Empty means a homogeneous
+	// "dpu-sim:Runners" pool — the pre-heterogeneous behaviour.
+	Backends string
+	// LatencySLO is the router's per-batch latency objective: when some
+	// healthy backend is predicted to finish a batch within it, the router
+	// optimizes energy among those backends instead of raw completion
+	// time. 0 (default) disables the objective.
+	LatencySLO time.Duration
+	// EnergyBudget caps the router's predicted joules per frame: backends
+	// over budget only take traffic when no within-budget backend is
+	// healthy. 0 (default) disables the budget.
+	EnergyBudget float64
 	// Threads is the host submission thread count per runner (the paper
 	// deploys 4). Default 4.
 	Threads int
@@ -163,9 +185,10 @@ type Server struct {
 	dev  *dpu.Device
 	prog *xmodel.Program
 
-	queue chan *job
-	slots chan struct{} // dispatch tokens: Runners × Pipeline
-	pool  []*worker
+	queue  chan *job
+	slots  chan struct{} // dispatch tokens: pool size × Pipeline
+	pool   []*worker
+	router backend.RouterConfig
 
 	mu      sync.RWMutex // serializes closing against queue sends
 	closing bool
@@ -203,7 +226,9 @@ type outcome struct {
 }
 
 // New builds a server over a device and a compiled program and starts its
-// batching loop. Callers must Shutdown to stop it.
+// batching loop. Callers must Shutdown to stop it. Config.Backends selects
+// the pool composition; empty reproduces the homogeneous dpu-sim pool of
+// size Config.Runners.
 func New(dev *dpu.Device, prog *xmodel.Program, cfg Config) (*Server, error) {
 	if dev == nil {
 		return nil, errors.New("serve: nil device")
@@ -212,16 +237,39 @@ func New(dev *dpu.Device, prog *xmodel.Program, cfg Config) (*Server, error) {
 		return nil, errors.New("serve: nil program")
 	}
 	cfg = cfg.withDefaults()
+	spec := cfg.Backends
+	if spec == "" {
+		spec = fmt.Sprintf("%s:%d", backend.KindDPUSim, cfg.Runners)
+	}
+	kinds, err := backend.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Runners = len(kinds)
 	s := &Server{
 		cfg:          cfg,
 		dev:          dev,
 		prog:         prog,
+		router:       backend.RouterConfig{LatencySLO: cfg.LatencySLO, EnergyBudget: cfg.EnergyBudget},
 		queue:        make(chan *job, cfg.QueueDepth),
-		slots:        make(chan struct{}, cfg.Runners*cfg.Pipeline),
+		slots:        make(chan struct{}, len(kinds)*cfg.Pipeline),
 		frameLatency: dev.TimeFrame(prog).Latency,
 	}
-	for i := 0; i < cfg.Runners; i++ {
-		s.pool = append(s.pool, &worker{id: i, runner: vart.New(dev, prog, cfg.Threads)})
+	opt := backend.Options{Threads: cfg.Threads}
+	for i, kind := range kinds {
+		kind := kind
+		be, err := backend.New(kind, dev, prog, opt)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pool slot %d: %w", i, err)
+		}
+		mk := func() backend.Backend {
+			nb, err := backend.New(kind, dev, prog, opt)
+			if err != nil {
+				return nil // cannot happen: the first build above succeeded
+			}
+			return nb
+		}
+		s.pool = append(s.pool, &worker{id: i, kind: kind, be: be, mk: mk})
 	}
 	for i := 0; i < cap(s.slots); i++ {
 		s.slots <- struct{}{}

@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"seneca/internal/vart"
+	"seneca/internal/energy"
 )
 
 // latencyWindow is how many recent request latencies the quantile
@@ -42,7 +42,7 @@ type stats struct {
 	simFrames int
 }
 
-func (st *stats) recordBatch(n int, res vart.Result) {
+func (st *stats) recordBatch(n int, res energy.Report) {
 	st.batches.Add(1)
 	st.frames.Add(uint64(n))
 	st.mu.Lock()
@@ -88,6 +88,58 @@ func (l *latWindow) quantile(q float64) time.Duration {
 	return snap[idx]
 }
 
+// BackendStats is one pool slot's occupancy and deployment estimate, as
+// exported in Stats.Backends. QueueDepth counts frames the router has
+// placed on the worker that have not started executing; InFlightFrames
+// counts frames executing right now. Sim* fields price the traffic this
+// slot served on its own device model.
+type BackendStats struct {
+	Worker  int    `json:"worker"`
+	Backend string `json:"backend"`
+	Breaker string `json:"breaker"`
+
+	QueueDepth      int `json:"queue_depth"`
+	InFlightBatches int `json:"in_flight_batches"`
+	InFlightFrames  int `json:"in_flight_frames"`
+
+	Dispatched uint64 `json:"dispatched_batches"`
+	Batches    uint64 `json:"batches"`
+	Frames     uint64 `json:"frames"`
+
+	SimFPS        float64 `json:"sim_fps"`
+	SimWatts      float64 `json:"sim_watts"`
+	SimFPSPerWatt float64 `json:"sim_fps_per_watt"`
+}
+
+// snapshotStats captures one worker's occupancy and accumulators. The pool
+// totals in Stats are sums over these same snapshots, so the per-backend
+// rows always add up to the pool-wide figures.
+func (w *worker) snapshotStats() BackendStats {
+	bs := BackendStats{
+		Worker:          w.id,
+		Backend:         w.kind,
+		Breaker:         w.breaker().String(),
+		QueueDepth:      int(w.staged.Load()),
+		InFlightBatches: int(w.inflight.Load()),
+		InFlightFrames:  int(w.inflightFrames.Load()),
+		Dispatched:      uint64(w.dispatched.Load()),
+		Batches:         uint64(w.batches.Load()),
+		Frames:          uint64(w.framesDone.Load()),
+	}
+	w.simMu.Lock()
+	busy, joules, frames := w.simBusy, w.simJoules, w.simFrames
+	w.simMu.Unlock()
+	if busy > 0 {
+		sec := busy.Seconds()
+		bs.SimFPS = float64(frames) / sec
+		bs.SimWatts = joules / sec
+		if bs.SimWatts > 0 {
+			bs.SimFPSPerWatt = bs.SimFPS / bs.SimWatts
+		}
+	}
+	return bs
+}
+
 // Stats is a point-in-time snapshot of the serving tier, as exported by
 // GET /statz. Sim* fields come from the discrete-event timing model: they
 // estimate what the deployed board would sustain for the traffic served so
@@ -103,6 +155,11 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 	InFlight   int `json:"in_flight_batches"`
+	// StagedFrames and InFlightFrames are pool-wide sums of the per-backend
+	// occupancy rows in Backends (routed-but-not-executing frames, and
+	// frames executing right now).
+	StagedFrames   int `json:"staged_frames"`
+	InFlightFrames int `json:"in_flight_frames"`
 
 	Accepted  uint64 `json:"accepted"`
 	Rejected  uint64 `json:"rejected"`
@@ -125,6 +182,11 @@ type Stats struct {
 	SimFPS        float64 `json:"sim_fps"`
 	SimWatts      float64 `json:"sim_watts"`
 	SimFPSPerWatt float64 `json:"sim_fps_per_watt"`
+
+	// Backends holds one occupancy row per pool slot; the pool totals
+	// above (InFlight, StagedFrames, InFlightFrames) are sums over these
+	// rows, so the per-backend figures always add up.
+	Backends []BackendStats `json:"backends"`
 }
 
 // Stats snapshots the server counters. Concurrent mutation means the
@@ -152,9 +214,14 @@ func (s *Server) Stats() Stats {
 		Redispatches:     s.stats.redispatched.Load(),
 		WatchdogTimeouts: s.stats.watchdog.Load(),
 	}
-	for _, w := range s.pool {
-		st.InFlight += int(w.inflight.Load())
-		if w.healthy() {
+	st.Backends = make([]BackendStats, len(s.pool))
+	for i, w := range s.pool {
+		bs := w.snapshotStats()
+		st.Backends[i] = bs
+		st.InFlight += bs.InFlightBatches
+		st.StagedFrames += bs.QueueDepth
+		st.InFlightFrames += bs.InFlightFrames
+		if bs.Breaker == BreakerClosed.String() {
 			st.HealthyRunners++
 		}
 	}

@@ -32,6 +32,7 @@ package seneca
 import (
 	"io"
 
+	"seneca/internal/backend"
 	"seneca/internal/cluster"
 	"seneca/internal/core"
 	"seneca/internal/ctorg"
@@ -101,6 +102,22 @@ type (
 	ServeStats = serve.Stats
 	// LoadPoint is one row of a closed-loop serving load sweep.
 	LoadPoint = serve.LoadPoint
+	// Backend is one execution substrate for a compiled program (dpu-sim,
+	// cpu-int8, gpu-sim): bit-accurate INT8 masks plus a first-order
+	// latency/energy cost model (internal/backend).
+	Backend = backend.Backend
+	// BackendCost is a backend's predicted latency and energy for one
+	// micro-batch — what the serving tier's router compares.
+	BackendCost = backend.Cost
+	// BackendOptions tunes backend construction (threads, device-model
+	// overrides).
+	BackendOptions = backend.Options
+	// BackendRouterConfig is the placement policy of the heterogeneous
+	// pool: a per-batch latency SLO and a joules-per-frame energy budget.
+	BackendRouterConfig = backend.RouterConfig
+	// BackendStats is one pool slot's occupancy row inside ServeStats
+	// (queue depth, in-flight batches/frames, simulated FPS and FPS/W).
+	BackendStats = serve.BackendStats
 	// MetricsRegistry collects counters, gauges and histograms and renders
 	// them in Prometheus text exposition format (internal/obs).
 	MetricsRegistry = obs.Registry
@@ -230,6 +247,17 @@ func NewRTX2060Mobile() *GPU { return gpusim.New(gpusim.RTX2060Mobile()) }
 // NewRunner constructs the asynchronous inference runtime with the given
 // thread count (the paper deploys 4).
 func NewRunner(dev *DPU, prog *Program, threads int) *Runner { return vart.New(dev, prog, threads) }
+
+// BackendKinds lists the registered execution backends ("cpu-int8",
+// "dpu-sim", "gpu-sim"), sorted.
+func BackendKinds() []string { return backend.Kinds() }
+
+// NewBackend builds one execution backend of the given kind over a device
+// and a compiled program. ServeConfig.Backends composes whole pools of
+// these by spec, e.g. "dpu-sim:2,cpu-int8,gpu-sim".
+func NewBackend(kind string, dev *DPU, prog *Program, opt BackendOptions) (Backend, error) {
+	return backend.New(kind, dev, prog, opt)
+}
 
 // NewServer stands up the online inference service over a device and a
 // compiled program and starts its micro-batching loop; release it with
