@@ -83,9 +83,7 @@ func parseBench(r io.Reader, echo io.Writer) ([]Entry, error) {
 }
 
 // writeComparison renders a delta table of entries against the baseline
-// snapshot previously written by -out. It reports, never judges: regressions
-// are printed but do not fail the run, so CI can surface deltas without
-// blocking merges on noisy micro-benchmarks.
+// snapshot previously written by -out.
 func writeComparison(w io.Writer, baseline []Entry, entries []Entry) {
 	base := make(map[string]Entry, len(baseline))
 	for _, e := range baseline {
@@ -119,10 +117,49 @@ func writeComparison(w io.Writer, baseline []Entry, entries []Entry) {
 	}
 }
 
+// gateViolations applies the regression gate: a benchmark present in both
+// snapshots fails when its ns/op grew by more than gatePct percent, or when
+// its allocs/op grew by more than max(8, 25%) of the baseline. The time gate
+// is deliberately loose — repeated runs on the same machine scatter by
+// ±10-15%, hosted CI runners by more — so only regressions far outside the
+// noise floor (the default gate is 50%) block a merge; alloc counts are
+// deterministic, so their slack only absorbs pooling variance.
+func gateViolations(baseline, entries []Entry, gatePct float64) []string {
+	base := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	var bad []string
+	for _, e := range entries {
+		b, ok := base[e.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 {
+			if growth := (e.NsPerOp - b.NsPerOp) / b.NsPerOp * 100; growth > gatePct {
+				bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%% > %.0f%% gate)",
+					e.Name, e.NsPerOp, b.NsPerOp, growth, gatePct))
+			}
+		}
+		if b.AllocsPerOp >= 0 && e.AllocsPerOp >= 0 {
+			slack := b.AllocsPerOp / 4
+			if slack < 8 {
+				slack = 8
+			}
+			if e.AllocsPerOp > b.AllocsPerOp+slack {
+				bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs baseline %d (slack %d)",
+					e.Name, e.AllocsPerOp, b.AllocsPerOp, slack))
+			}
+		}
+	}
+	return bad
+}
+
 func main() {
 	outPath := flag.String("out", "", "JSON output path (empty: stdout only)")
 	quiet := flag.Bool("q", false, "do not echo input lines")
-	comparePath := flag.String("compare", "", "baseline JSON snapshot to print a delta table against (informational: regressions never fail the run)")
+	comparePath := flag.String("compare", "", "baseline JSON snapshot to print a delta table against")
+	gatePct := flag.Float64("gate", 0, "with -compare: exit non-zero when any benchmark's ns/op regresses by more than this percentage, or allocs/op beyond max(8, 25%) slack; 0 disables the gate")
 	flag.Parse()
 
 	var echo io.Writer = os.Stdout
@@ -151,6 +188,15 @@ func main() {
 		}
 		fmt.Printf("\ndelta vs %s:\n", *comparePath)
 		writeComparison(os.Stdout, baseline, entries)
+		if *gatePct > 0 {
+			if bad := gateViolations(baseline, entries, *gatePct); len(bad) > 0 {
+				for _, v := range bad {
+					fmt.Fprintln(os.Stderr, "seneca-benchjson: regression:", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("gate: all benchmarks within %.0f%% of %s\n", *gatePct, *comparePath)
+		}
 	}
 	blob, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -96,12 +96,41 @@ func For(n int, body func(i int)) {
 	})
 }
 
+// chunkBounds returns the bounds of chunk id when [0, n) is split into
+// chunks balanced ranges: the first n%chunks ranges take one extra element,
+// so every chunk is non-empty and chunk count always equals the number of
+// workers granted — ceil-division rounding can never strand a reserved
+// worker without a range to run.
+func chunkBounds(n, chunks, id int) (lo, hi int) {
+	base, rem := n/chunks, n%chunks
+	lo = id*base + min(id, rem)
+	hi = lo + base
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 // ForChunked splits [0, n) into contiguous ranges and runs body(lo, hi) for
 // each range concurrently, using the calling goroutine plus however many
 // extra workers the global budget currently allows. Small n, a worker cap of
 // one, and calls nested inside already-parallel regions all degrade
 // gracefully to a single serial call.
 func ForChunked(n int, body func(lo, hi int)) {
+	ForChunkedID(n, n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForChunkedID is ForChunked with a dense chunk id: body runs once per chunk
+// as body(id, lo, hi) with id in [0, chunks) where chunks never exceeds
+// maxChunks. Callers use the id to index pre-sized per-chunk scratch (tile
+// arenas in the quant executor) without any synchronization; maxChunks lets
+// them bound the id space by however much scratch they actually allocated.
+//
+// The reservation is sized from the actual chunk count: [0, n) is split into
+// balanced ranges (base = n/chunks plus one extra element for the first
+// n%chunks chunks), so exactly the granted workers each get one chunk and no
+// reserved worker sits idle starving concurrent loops until release.
+func ForChunkedID(n, maxChunks int, body func(id, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -109,29 +138,29 @@ func ForChunked(n int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	if workers > maxChunks {
+		workers = maxChunks
+	}
 	if workers > 1 {
 		workers = 1 + reserve(workers-1)
 	}
 	if workers <= 1 {
-		body(0, n)
+		body(0, 0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	// Chunks after the first run on spawned workers; the first chunk runs on
-	// the calling goroutine so the caller always contributes.
-	for lo := chunk; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	// Chunks after the first run on spawned workers; chunk 0 runs on the
+	// calling goroutine so the caller always contributes.
+	for id := 1; id < workers; id++ {
+		lo, hi := chunkBounds(n, workers, id)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(id, lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			body(id, lo, hi)
+		}(id, lo, hi)
 	}
-	body(0, chunk)
+	_, hi0 := chunkBounds(n, workers, 0)
+	body(0, 0, hi0)
 	wg.Wait()
 	release(workers - 1)
 }
@@ -152,8 +181,11 @@ func Map(dst []float32, f func(i int) float32) {
 }
 
 // ReduceSum computes the sum of f(i) for i in [0, n) with a parallel
-// tree-style reduction. Partial sums are accumulated in float64 to limit
-// round-off drift across worker counts.
+// tree-style reduction. Partial sums are accumulated in float64 and each
+// chunk's partial is stored at its chunk index, then summed in chunk order —
+// float64 addition is not associative, so summing in goroutine-completion
+// order would make the result depend on the scheduler even at a fixed worker
+// count.
 func ReduceSum(n int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
@@ -172,31 +204,25 @@ func ReduceSum(n int, f func(i int) float64) float64 {
 		}
 		return s
 	}
-	chunk := (n + workers - 1) / workers
-	partials := make([]float64, 0, workers)
-	var mu sync.Mutex
+	partials := make([]float64, workers)
 	var wg sync.WaitGroup
-	sum := func(lo, hi int) {
+	sum := func(id, lo, hi int) {
 		var s float64
 		for i := lo; i < hi; i++ {
 			s += f(i)
 		}
-		mu.Lock()
-		partials = append(partials, s)
-		mu.Unlock()
+		partials[id] = s
 	}
-	for lo := chunk; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for id := 1; id < workers; id++ {
+		lo, hi := chunkBounds(n, workers, id)
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(id, lo, hi int) {
 			defer wg.Done()
-			sum(lo, hi)
-		}(lo, hi)
+			sum(id, lo, hi)
+		}(id, lo, hi)
 	}
-	sum(0, chunk)
+	_, hi0 := chunkBounds(n, workers, 0)
+	sum(0, 0, hi0)
 	wg.Wait()
 	release(workers - 1)
 	var total float64

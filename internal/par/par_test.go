@@ -172,6 +172,105 @@ func TestNestedLoopsStayWithinBudget(t *testing.T) {
 	}
 }
 
+// TestReduceSumDeterministicAtFixedWorkers is the regression test for the
+// scheduler-dependent partial-sum ordering bug: partials used to be appended
+// in goroutine-completion order, so ill-conditioned float64 inputs summed to
+// different values run-to-run even at a fixed worker count. Partials are now
+// stored at their chunk index and summed in chunk order, so repeated runs
+// must be bit-identical.
+func TestReduceSumDeterministicAtFixedWorkers(t *testing.T) {
+	// Ill-conditioned inputs: large cancelling magnitudes interleaved with
+	// small ones, so any reordering of the partial sums changes the result.
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		switch i % 4 {
+		case 0:
+			vals[i] = 1e16
+		case 1:
+			vals[i] = 1.0 + float64(i)
+		case 2:
+			vals[i] = -1e16
+		default:
+			vals[i] = 1e-8 * float64(i)
+		}
+	}
+	for _, w := range []int{2, 3, 4, 7} {
+		prev := SetMaxWorkers(w)
+		first := ReduceSum(n, func(i int) float64 { return vals[i] })
+		for run := 0; run < 200; run++ {
+			got := ReduceSum(n, func(i int) float64 { return vals[i] })
+			if got != first {
+				SetMaxWorkers(prev)
+				t.Fatalf("workers=%d run %d: sum %v != first run %v (nondeterministic partial order)", w, run, got, first)
+			}
+		}
+		SetMaxWorkers(prev)
+	}
+}
+
+// TestForChunkedReservationMatchesChunks is the regression test for the
+// over-reservation bug: ForChunked used to reserve workers-1 goroutines and
+// then ceil-divide the range, so n=9 at workers=4 produced 3 chunks while
+// holding 3 reservations — one reserved worker sat idle, starving concurrent
+// loops until release. The reservation must never exceed chunks-1.
+func TestForChunkedReservationMatchesChunks(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	for _, n := range []int{9, 5, 7, 13, 21} {
+		var chunks int32
+		var peak int32
+		ForChunked(n, func(lo, hi int) {
+			atomic.AddInt32(&chunks, 1)
+			if f := inFlight.Load(); f > atomic.LoadInt32(&peak) {
+				atomic.StoreInt32(&peak, f)
+			}
+		})
+		if got, limit := atomic.LoadInt32(&peak), atomic.LoadInt32(&chunks)-1; got > limit {
+			t.Fatalf("n=%d: %d workers reserved for %d chunks (limit %d): reservation not sized from chunk count", n, got, chunks, limit)
+		}
+		if inFlight.Load() != 0 {
+			t.Fatalf("n=%d: inFlight = %d after return, want 0", n, inFlight.Load())
+		}
+	}
+}
+
+// TestForChunkedIDDenseIDsAndCap checks the chunk-id contract: ids are dense
+// in [0, chunks), each id's range partitions [0, n) in order, and the id
+// space never exceeds maxChunks (callers size per-chunk scratch from it).
+func TestForChunkedIDDenseIDsAndCap(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	for _, tc := range []struct{ n, maxChunks int }{
+		{100, 3}, {100, 100}, {7, 2}, {1, 5}, {64, 1},
+	} {
+		var mu sync.Mutex
+		ranges := map[int][2]int{}
+		ForChunkedID(tc.n, tc.maxChunks, func(id, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if id < 0 || id >= tc.maxChunks {
+				t.Errorf("n=%d maxChunks=%d: id %d out of range", tc.n, tc.maxChunks, id)
+			}
+			if _, dup := ranges[id]; dup {
+				t.Errorf("n=%d: duplicate chunk id %d", tc.n, id)
+			}
+			ranges[id] = [2]int{lo, hi}
+		})
+		covered := 0
+		for id := 0; id < len(ranges); id++ {
+			r, ok := ranges[id]
+			if !ok {
+				t.Fatalf("n=%d: chunk ids not dense, missing %d of %d", tc.n, id, len(ranges))
+			}
+			covered += r[1] - r[0]
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d maxChunks=%d: chunks cover %d indices, want %d", tc.n, tc.maxChunks, covered, tc.n)
+		}
+	}
+}
+
 func TestReduceSumEmptyAndWorkerSweep(t *testing.T) {
 	if got := ReduceSum(0, func(int) float64 { return 1 }); got != 0 {
 		t.Fatalf("empty ReduceSum = %v, want 0", got)

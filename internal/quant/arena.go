@@ -8,12 +8,13 @@ import (
 )
 
 // Executor runs a quantized graph with a pre-sized scratch arena: one int8
-// activation buffer per node output, one im2col column buffer, one int32
-// transpose-convolution column buffer and one int32 accumulator region, all
-// sized once from the compiled graph and reused across layers and frames.
-// This removes every steady-state allocation from the INT8 execute path —
-// the per-layer make([]int8/int32, …) churn that made the functional
-// executor slower than the FP32 forward pass.
+// activation buffer per node output, a per-worker im2col tile arena for the
+// blocked convolution path, one int32 transpose-convolution column buffer
+// and one int32 accumulator region, all sized once from the compiled graph
+// and reused across layers and frames. This removes every steady-state
+// allocation from the INT8 execute path — the per-layer
+// make([]int8/int32, …) churn that made the functional executor slower than
+// the FP32 forward pass.
 //
 // An Executor is NOT safe for concurrent use; concurrent callers each take
 // their own from a pool (QGraph keeps one internally, dpu.Device keeps one
@@ -22,10 +23,11 @@ type Executor struct {
 	g    *QGraph
 	acts map[string]*activation
 
-	cols   []uint8 // biased im2col scratch, max over convolution nodes
-	rowSum []int32 // per-pixel zero-point sums, max conv OH·OW
-	cols32 []int32 // Wᵀ·x column scratch, max over transpose convolutions
-	acc    []int32 // scatter accumulators, max over transpose convolutions
+	sc     convScratch // per-chunk im2col tile bands for the blocked conv path
+	cols   []uint8     // biased HWC transpose scratch, max over transpose convolutions
+	rowSum []int32     // per-pixel zero-point sums, max transpose conv H·W
+	cols32 []int32     // Wᵀ·x column scratch, max over transpose convolutions
+	acc    []int32     // scatter accumulators, max over transpose convolutions
 }
 
 // roundUp4 pads a channel count to the 4-wide register tile of the blocked
@@ -39,6 +41,7 @@ func roundUp4(n int) int { return (n + 3) / 4 * 4 }
 func NewExecutor(q *QGraph) (*Executor, error) {
 	e := &Executor{g: q, acts: make(map[string]*activation, len(q.Nodes))}
 	var maxCols, maxRowSum, maxCols32, maxAcc int
+	var maxTileCols, maxTileRow int
 	for _, n := range q.Nodes {
 		var out *activation
 		in := func(i int) (*activation, error) {
@@ -61,12 +64,16 @@ func NewExecutor(q *QGraph) (*Executor, error) {
 			}
 			oh, ow := n.OutShape[1], n.OutShape[2]
 			out = &activation{data: make([]int8, n.OutC*oh*ow), c: n.OutC, h: oh, w: ow}
-			if c := a.c * n.Kernel * n.Kernel * oh * ow; c > maxCols {
-				maxCols = c
+			ckk := a.c * n.Kernel * n.Kernel
+			rowsPer := convTileRows(ow, ckk, oh)
+			if c := rowsPer * ow * ckk; c > maxTileCols {
+				maxTileCols = c
 			}
-			if c := oh * ow; c > maxRowSum {
-				maxRowSum = c
+			if c := rowsPer * ow; c > maxTileRow {
+				maxTileRow = c
 			}
+			// Pre-size the shared padded-plane/prefix-sum buffers too.
+			e.sc.ensureInput(a.c, a.h, a.w, n.Pad)
 		case graph.KindConvTranspose:
 			a, err := in(0)
 			if err != nil {
@@ -127,10 +134,35 @@ func NewExecutor(q *QGraph) (*Executor, error) {
 	if _, ok := e.acts[q.OutputName]; !ok {
 		return nil, fmt.Errorf("quant: graph output %q has no producer", q.OutputName)
 	}
+	// Store-target fusion: alias each annotated producer's activation to its
+	// slice of the consuming concat's buffer, so the producer's write-back
+	// lands in place and the concat copy disappears. Concats appear after
+	// their producers in topological order, so every target buffer exists by
+	// now.
+	for _, n := range q.Nodes {
+		if n.StoreTarget == "" {
+			continue
+		}
+		a := e.acts[n.Name]
+		tgt := e.acts[n.StoreTarget]
+		if tgt == nil {
+			return nil, fmt.Errorf("quant: node %q store-target %q has no buffer", n.Name, n.StoreTarget)
+		}
+		hw := a.h * a.w
+		lo := n.StoreOffset * hw
+		hi := lo + len(a.data)
+		if tgt.h != a.h || tgt.w != a.w || hi > len(tgt.data) {
+			return nil, fmt.Errorf("quant: node %q store-target %q geometry mismatch", n.Name, n.StoreTarget)
+		}
+		a.data = tgt.data[lo:hi:hi]
+	}
 	e.cols = make([]uint8, maxCols)
 	e.rowSum = make([]int32, maxRowSum)
 	e.cols32 = make([]int32, maxCols32)
 	e.acc = make([]int32, maxAcc)
+	// Pre-size one tile band (the serial case) so single-worker steady-state
+	// execution never allocates; more workers grow the arena on first use.
+	e.sc.ensure(1, maxTileCols, maxTileRow)
 	return e, nil
 }
 
@@ -154,30 +186,34 @@ func (e *Executor) run(img *tensor.Tensor, tap func(*QNode, *activation)) error 
 			in := e.acts[n.Inputs[0]]
 			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
 			packed, wCorr := n.convPacked()
-			convInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum)
+			convInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, &e.sc)
 			out.fp = n.OutFP
 		case graph.KindConvTranspose:
 			in := e.acts[n.Inputs[0]]
 			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
 			packed, wCorr := n.dconvPacked()
-			convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum, e.cols32, e.acc)
+			convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum, e.cols32, e.acc)
 			out.fp = n.OutFP
 		case graph.KindMaxPool:
 			in := e.acts[n.Inputs[0]]
-			maxPoolInt8(in.data, in.c, in.h, in.w, out.data)
-			if in.fp != n.OutFP {
-				requantInt8(out.data, RequantShift(in.fp, n.OutFP), out.data)
-			}
+			maxPoolInt8(in.data, in.c, in.h, in.w, RequantShift(in.fp, n.OutFP), out.data)
 			out.fp = n.OutFP
 		case graph.KindReLU:
 			in := e.acts[n.Inputs[0]]
 			reluInt8(in.data, RequantShift(in.fp, n.OutFP), out.data)
 			out.fp = n.OutFP
 		case graph.KindConcat:
+			// Inputs whose producer carries a store-target annotation already
+			// wrote themselves (requantized) into this buffer; only the rest
+			// are copied.
 			a := e.acts[n.Inputs[0]]
 			b := e.acts[n.Inputs[1]]
-			requantInt8(a.data, RequantShift(a.fp, n.OutFP), out.data[:len(a.data)])
-			requantInt8(b.data, RequantShift(b.fp, n.OutFP), out.data[len(a.data):])
+			if p := q.byName[n.Inputs[0]]; p == nil || p.StoreTarget != n.Name {
+				requantInt8(a.data, RequantShift(a.fp, n.OutFP), out.data[:len(a.data)])
+			}
+			if p := q.byName[n.Inputs[1]]; p == nil || p.StoreTarget != n.Name {
+				requantInt8(b.data, RequantShift(b.fp, n.OutFP), out.data[len(a.data):])
+			}
 			out.fp = n.OutFP
 		case graph.KindSoftmax:
 			// Host-side op; out aliases the int8 logits (Execute handles the

@@ -1,6 +1,8 @@
 package quant
 
 import (
+	"encoding/binary"
+
 	"seneca/internal/par"
 	"seneca/internal/tensor"
 )
@@ -30,33 +32,46 @@ func clearInt32(s []int32) {
 	}
 }
 
-// maxPackedCKK bounds C·K² for the dual-lane packed convolution kernel:
-// each 32-bit lane of a packed accumulator sums up to C·K² products of
-// biased bytes (≤ 255·255), and 32768·255² < 2³¹ guarantees a lane can
-// never carry into its neighbour. Larger reductions use the generic kernel.
+// maxPackedCKK bounds C·K² for the tri-lane packed convolution kernel: the
+// per-channel biased sum Σ(w+128)(x+128) must stay an exact int32, and
+// 32768·255² < 2³¹ guarantees it (lane carries within a packed accumulator
+// are prevented separately by the triChunk spill, see convTri4Block).
+// Larger reductions use the generic kernel.
 const maxPackedCKK = 1 << 15
 
+// Tri-lane packing geometry: three output channels share one uint64 in
+// 21-bit lanes at bit offsets 0, 21 and 42. A lane holds at most triChunk
+// products of biased bytes (≤ 255·255), and 32·255² < 2²¹ means a lane can
+// never carry into its neighbour within a chunk; chunks are spilled into
+// int32 accumulators, which maxPackedCKK keeps exact.
+const (
+	triLaneMask = (1 << 21) - 1
+	triChunk    = 32
+)
+
 // packConvWeights lowers a convolution weight matrix [OutC, C·K²] into the
-// biased-unsigned dual-lane form used by convInt8: channel pair r stores
-// uint64(w[2r][p]+128) | uint64(w[2r+1][p]+128)<<32, so one 64-bit multiply
-// by a biased activation byte yields both channels' products (the scalar
-// integer multiplier retires one op per cycle regardless of width — packing
-// doubles its throughput). wCorr[oc] carries the zero-point correction
-// 128²·C·K² − 128·Σ_p(w[oc][p]+128): the exact signed accumulator is
-// recovered (mod 2³², matching int32 wraparound) as
+// biased-unsigned tri-lane form used by convInt8: channel triple r stores
+// uint64(w[3r][p]+128) | uint64(w[3r+1][p]+128)<<21 | uint64(w[3r+2][p]+128)<<42,
+// so one 64-bit multiply by a biased activation byte yields three channels'
+// products (the scalar integer multiplier retires one op per cycle
+// regardless of width — packing triples its throughput). wCorr[oc] carries
+// the zero-point correction 128²·C·K² − 128·Σ_p(w[oc][p]+128): the exact
+// signed accumulator is recovered (mod 2³², matching int32 wraparound) as
 //
 //	acc = laneSum − rowSum[j] + wCorr[oc]
 //
 // where rowSum[j] = 128·Σ of pixel j's biased taps (see im2colInt8).
-// An odd trailing channel leaves its high lane zero; it is never read.
+// Tri rows are padded to a multiple of four with all-zero ghost rows so the
+// kernel always runs its fully-unrolled four-row form; ghost channels
+// multiply to zero and their lanes are never written back.
 func packConvWeights(weight []int8, outC, ckk int) ([]uint64, []int32) {
-	pairs := (outC + 1) / 2
-	packed := make([]uint64, pairs*ckk)
+	rows := ((outC+2)/3 + 3) / 4 * 4
+	packed := make([]uint64, rows*ckk)
 	wCorr := make([]int32, outC)
 	for oc := 0; oc < outC; oc++ {
 		row := weight[oc*ckk : (oc+1)*ckk]
-		prow := packed[(oc/2)*ckk : (oc/2+1)*ckk]
-		shiftBits := uint(32 * (oc & 1))
+		prow := packed[(oc/3)*ckk : (oc/3+1)*ckk]
+		shiftBits := uint(21 * (oc % 3))
 		var sum int32
 		for p, wv := range row {
 			b := int32(wv) + 128
@@ -68,100 +83,182 @@ func packConvWeights(weight []int8, outC, ckk int) ([]uint64, []int32) {
 	return packed, wCorr
 }
 
-// im2colInt8 lowers an int8 CHW image into the TRANSPOSED, biased-unsigned
-// column matrix colT[OH·OW, C·K²]: row j holds every kernel tap of output
-// pixel j, contiguously, stored as tap+128 (so padding taps are 128 — a
-// zero sample on the biased grid). rowSum[j] receives 128·Σ(row j), the
-// per-pixel half of the zero-point correction that recovers exact signed
-// accumulators from the packed GEMM. A reused (dirty) dst buffer is fully
-// overwritten.
+// im2colInt8 lowers an int8 CHW image into the TAP-MAJOR, biased-unsigned
+// column matrix colT[C·K², OH·OW] (see im2colTaps, which does the work one
+// output-row band at a time for the tiled convolution path).
 func im2colInt8(src []int8, c, h, w, k, stride, pad int, dst []uint8, rowSum []int32, oh, ow int) {
-	ckk := c * k * k
-	par.ForChunked(oh, func(lo, hi int) {
-		for oy := lo; oy < hi; oy++ {
-			iy0 := oy*stride - pad
-			// ky values whose source row iy0+ky lands inside [0, h).
-			kyLo := 0
-			if iy0 < 0 {
-				kyLo = -iy0
-			}
-			kyHi := k
-			if iy0+k > h {
-				kyHi = h - iy0
-			}
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*stride - pad
-				j := oy*ow + ox
-				row := dst[j*ckk : (j+1)*ckk]
-				// kx values whose source column ix0+kx lands inside [0, w).
-				kxLo := -ix0
-				if kxLo < 0 {
-					kxLo = 0
-				}
-				kxHi := w - ix0
-				if kxHi > k {
-					kxHi = k
-				}
-				if kxLo >= kxHi || kyLo >= kyHi {
-					for i := range row {
-						row[i] = 128
-					}
-					rowSum[j] = int32(ckk) * 128 * 128
-					continue
-				}
-				full := kxLo == 0 && kxHi == k
-				sum := 0
-				idx := 0
-				for ci := 0; ci < c; ci++ {
-					plane := src[ci*h*w : (ci+1)*h*w]
-					for ky := 0; ky < kyLo; ky++ {
-						for kx := 0; kx < k; kx++ {
-							row[idx+kx] = 128
-						}
-						idx += k
-					}
-					for ky := kyLo; ky < kyHi; ky++ {
-						base := (iy0+ky)*w + ix0
-						if full && k == 3 {
-							// Interior 3-tap row: the hot case for the
-							// 3×3 stride-1 stacks; unrolled to dodge the
-							// per-3-byte loop overhead.
-							v0 := int(plane[base]) + 128
-							v1 := int(plane[base+1]) + 128
-							v2 := int(plane[base+2]) + 128
-							row[idx] = uint8(v0)
-							row[idx+1] = uint8(v1)
-							row[idx+2] = uint8(v2)
-							sum += v0 + v1 + v2
-							idx += 3
-							continue
-						}
-						for kx := 0; kx < kxLo; kx++ {
-							row[idx+kx] = 128
-						}
-						for kx := kxLo; kx < kxHi; kx++ {
-							v := int(plane[base+kx]) + 128
-							row[idx+kx] = uint8(v)
-							sum += v
-						}
-						for kx := kxHi; kx < k; kx++ {
-							row[idx+kx] = 128
-						}
-						sum += 128 * (kxLo + k - kxHi)
-						idx += k
-					}
-					for ky := kyHi; ky < k; ky++ {
-						for kx := 0; kx < k; kx++ {
-							row[idx+kx] = 128
-						}
-						idx += k
-					}
-				}
-				sum += 128 * k * (kyLo + k - kyHi) * c
-				rowSum[j] = int32(sum) * 128
+	padded := make([]uint8, c*(h+2*pad)*(w+2*pad))
+	prefix := make([]int32, c*h*(w+1))
+	biasPrefixPadded(src, c, h, w, pad, padded, prefix)
+	im2colTaps(padded, c, h, w, k, stride, pad, 0, oh, ow, dst)
+	rowSumBand(prefix, c, h, w, k, stride, pad, 0, oh, ow, rowSum)
+}
+
+// biasPrefixPadded converts an int8 CHW image to its biased-unsigned form
+// (tap+128, a sign-bit flip) written into a zero-padded plane of
+// (h+2·pad)×(w+2·pad) per channel — padding cells hold 128, the biased
+// zero — and builds per-row prefix sums of the unpadded biased bytes:
+// prefix[(ci·h+iy)·(w+1)+x] = Σ of the first x biased samples of row
+// (ci, iy). The padded plane lets both the band lowering and the direct
+// GEMM kernels read any kernel tap with an unconditional shifted load; the
+// prefix sums price every pixel's zero-point correction with two lookups
+// instead of summing its C·K² taps byte by byte.
+func biasPrefixPadded(src []int8, c, h, w, pad int, padded []uint8, prefix []int32) {
+	ph, pw := h+2*pad, w+2*pad
+	if pad > 0 {
+		for i := range padded {
+			padded[i] = 128
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		for iy := 0; iy < h; iy++ {
+			srow := src[(ci*h+iy)*w : (ci*h+iy+1)*w]
+			prow := padded[(ci*ph+iy+pad)*pw+pad:]
+			prow = prow[:w]
+			pref := prefix[(ci*h+iy)*(w+1) : (ci*h+iy+1)*(w+1)]
+			var s int32
+			pref[0] = 0
+			for x, v := range srow {
+				b := uint8(v) ^ 0x80
+				prow[x] = b
+				s += int32(b)
+				pref[x+1] = s
 			}
 		}
-	})
+	}
+}
+
+// im2colTaps lowers the output-row band [oyLo, oyHi) of a biased image (see
+// biasPrefix) into the TAP-MAJOR, biased-unsigned column matrix
+// colT[C·K², npix]: row p holds kernel tap p of every output pixel in the
+// band, contiguously, stored as tap+128 (so padding taps are 128 — a zero
+// sample on the biased grid). Tap-major layout makes the stride-1 fill a
+// handful of copy() calls per tap row, and lets the GEMM kernels load four
+// neighbouring pixels with one 32-bit read. rowSum[j] receives 128·Σ(taps
+// of pixel j), the per-pixel half of the zero-point correction that
+// recovers exact signed accumulators from the packed GEMM; it comes from
+// the prefix sums, not from re-summing the copied bytes. A reused (dirty)
+// dst buffer is fully overwritten. Runs serially: the tiled convolution
+// dispatch already parallelizes across bands.
+func im2colTaps(padded []uint8, c, h, w, k, stride, pad, oyLo, oyHi, ow int, dst []uint8) {
+	npix := (oyHi - oyLo) * ow
+	ph, pw := h+2*pad, w+2*pad
+	for ci := 0; ci < c; ci++ {
+		plane := padded[ci*ph*pw : (ci+1)*ph*pw]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				p := (ci*k+ky)*k + kx
+				drow := dst[p*npix : (p+1)*npix]
+				for oy := oyLo; oy < oyHi; oy++ {
+					// Padded-plane coordinates: tap (ky,kx) of output pixel
+					// (oy,ox) lives at (oy·stride+ky, ox·stride+kx) — always
+					// in bounds, padding cells already hold 128.
+					seg := drow[(oy-oyLo)*ow : (oy-oyLo)*ow+ow]
+					prow := plane[(oy*stride+ky)*pw+kx:]
+					if stride == 1 {
+						copy(seg, prow[:ow])
+						continue
+					}
+					for ox := range seg {
+						seg[ox] = prow[ox*stride]
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowSumBand fills rowSum[j] = 128·Σ(biased taps of band pixel j) for the
+// output-row band [oyLo, oyHi) — the per-pixel half of the packed GEMM's
+// zero-point correction — from per-row prefix sums (see biasPrefixPadded).
+func rowSumBand(prefix []int32, c, h, w, k, stride, pad, oyLo, oyHi, ow int, rowSum []int32) {
+	// Zero-point sums from the per-row prefix sums. Horizontally interior
+	// pixels (full k-wide window) are swept per (channel, tap-row) so the
+	// inner loop is two loads and an add with no clamping; only the ≤k/stride
+	// boundary pixels per side run the generic clamped path.
+	oxL := ceilDivInt(pad, stride)
+	if oxL > ow {
+		oxL = ow
+	}
+	oxR := floorDivInt(w-k+pad, stride) + 1
+	if oxR > ow {
+		oxR = ow
+	}
+	if oxR < oxL {
+		oxR = oxL
+	}
+	for oy := oyLo; oy < oyHi; oy++ {
+		iy0 := oy*stride - pad
+		kyLo := 0
+		if iy0 < 0 {
+			kyLo = -iy0
+		}
+		kyHi := k
+		if iy0+k > h {
+			kyHi = h - iy0
+		}
+		if kyHi < kyLo {
+			kyHi = kyLo
+		}
+		row := rowSum[(oy-oyLo)*ow : (oy-oyLo)*ow+ow]
+		for _, r := range [2][2]int{{0, oxL}, {oxR, ow}} {
+			for ox := r[0]; ox < r[1]; ox++ {
+				ix0 := ox*stride - pad
+				kxLo := 0
+				if ix0 < 0 {
+					kxLo = -ix0
+				}
+				kxHi := k
+				if ix0+k > w {
+					kxHi = w - ix0
+				}
+				if kxLo >= kxHi || kyLo >= kyHi {
+					row[ox] = int32(c*k*k) * 128 * 128
+					continue
+				}
+				sum := int32(0)
+				for ci := 0; ci < c; ci++ {
+					pref := prefix[ci*h*(w+1) : (ci+1)*h*(w+1)]
+					for ky := kyLo; ky < kyHi; ky++ {
+						pb := (iy0+ky)*(w+1) + ix0
+						sum += pref[pb+kxHi] - pref[pb+kxLo]
+					}
+				}
+				padTaps := c * (k*k - (kyHi-kyLo)*(kxHi-kxLo))
+				row[ox] = (sum + 128*int32(padTaps)) * 128
+			}
+		}
+		if oxL >= oxR {
+			continue
+		}
+		in := row[oxL:oxR]
+		for i := range in {
+			in[i] = 0
+		}
+		for ci := 0; ci < c; ci++ {
+			pref := prefix[ci*h*(w+1) : (ci+1)*h*(w+1)]
+			for ky := kyLo; ky < kyHi; ky++ {
+				pb := (iy0+ky)*(w+1) + oxL*stride - pad
+				if stride == 1 {
+					pa := pref[pb : pb+len(in)]
+					pc := pref[pb+k : pb+k+len(in)]
+					pc = pc[:len(in)]
+					for i := range pa {
+						in[i] += pc[i] - pa[i]
+					}
+				} else {
+					for i := range in {
+						in[i] += pref[pb+k] - pref[pb]
+						pb += stride
+					}
+				}
+			}
+		}
+		padBand := 128 * int32(c*(k*k-(kyHi-kyLo)*k))
+		for i := range in {
+			in[i] = (in[i] + padBand) * 128
+		}
+	}
 }
 
 // finalizeOne converts one int32 accumulator into int8, fusing the bias
@@ -169,162 +266,847 @@ func im2colInt8(src []int8, c, h, w, k, stride, pad int, dst []uint8, rowSum []i
 // write-back path.
 func finalizeOne(acc, bias int32, relu bool, shift int) int8 {
 	v := int64(acc) + int64(bias)
-	if relu && v < 0 {
-		v = 0
+	if relu {
+		v &^= v >> 63
 	}
 	return RoundShift(v, shift)
 }
 
-// finalizeInt8 applies finalizeOne across one channel's accumulator row.
-func finalizeInt8(acc []int32, bias int32, relu bool, shift int, out []int8) {
-	out = out[:len(acc)]
-	for j, a := range acc {
-		out[j] = finalizeOne(a, bias, relu, shift)
+// finalizeFused is finalizeOne followed by an optional second round-shift —
+// the write-back of a producer whose output feeds a concat at a different
+// fix position (see the store-target fusion in xmodel). The two rounding
+// steps are applied separately on purpose: RoundShift(RoundShift(v,s1),s2)
+// differs from RoundShift(v,s1+s2) in general, and bit-identity with the
+// unfused conv→concat-requant pipeline requires rounding exactly as it did.
+func finalizeFused(acc, bias int32, relu bool, shift, shift2 int) int8 {
+	v := finalizeOne(acc, bias, relu, shift)
+	if shift2 == 0 {
+		return v
 	}
+	return RoundShift(int64(v), shift2)
+}
+
+// roundSat8 is RoundShift restricted to shift ≥ 1 with the rounding constant
+// precomputed — small enough for the compiler to inline into kernel
+// write-back loops, where the full RoundShift switch costs a call per output
+// element. Bit-identical to RoundShift(v, shift) for shift ≥ 1.
+func roundSat8(v int64, shift uint, half int64) int8 {
+	// Branchless round-half-away-from-zero: the accumulator's sign is
+	// data-dependent, so a sign test here would mispredict about half the
+	// time at ~15 cycles a miss. |v| stays well under 2⁶³ (int32 range plus
+	// bias), so the xor/sub absolute value is exact.
+	sign := v >> 63
+	r := (((v ^ sign) - sign + half) >> shift)
+	r = (r ^ sign) - sign
+	if r > 127 {
+		r = 127
+	}
+	if r < -128 {
+		r = -128
+	}
+	return int8(r)
+}
+
+// finalizeInt8 applies finalizeFused across one channel's accumulator row,
+// with the common shift ≥ 1 case inlined and its branches hoisted.
+func finalizeInt8(acc []int32, bias int32, relu bool, shift, shift2 int, out []int8) {
+	out = out[:len(acc)]
+	if shift > 0 && shift2 >= 0 {
+		us, half := uint(shift), int64(1)<<uint(shift-1)
+		var us2 uint
+		var half2 int64
+		if shift2 > 0 {
+			us2, half2 = uint(shift2), int64(1)<<uint(shift2-1)
+		}
+		b := int64(bias)
+		for j, a := range acc {
+			v := int64(a) + b
+			if relu {
+				v &^= v >> 63
+			}
+			r := roundSat8(v, us, half)
+			if us2 != 0 {
+				r = roundSat8(int64(r), us2, half2)
+			}
+			out[j] = r
+		}
+		return
+	}
+	for j, a := range acc {
+		out[j] = finalizeFused(a, bias, relu, shift, shift2)
+	}
+}
+
+// colTile is one worker's im2col scratch band for the tiled convolution
+// path: a few output rows' worth of biased column matrix plus the matching
+// per-pixel zero-point sums.
+type colTile struct {
+	cols   []uint8
+	rowSum []int32
+}
+
+// convScratch owns the per-chunk tile arena. Tile id == par chunk id, so
+// concurrent tile bands never share scratch. ensure grows the arena (count
+// and per-tile capacity) lazily; once the largest conv in a graph has run at
+// the current worker count the steady-state path performs no allocations.
+// biased/prefix hold the layer-wide biased input and its per-row prefix sums
+// (see biasPrefix) — written serially before the tile fan-out, read-only
+// inside it.
+type convScratch struct {
+	tiles  []colTile
+	biased []uint8
+	prefix []int32
+}
+
+// ensureInput sizes the shared padded-plane/prefix buffers for a c×h×w
+// input convolved with padding pad.
+func (s *convScratch) ensureInput(c, h, w, pad int) ([]uint8, []int32) {
+	nb, np := c*(h+2*pad)*(w+2*pad), c*h*(w+1)
+	if cap(s.biased) < nb {
+		s.biased = make([]uint8, nb)
+	}
+	if cap(s.prefix) < np {
+		s.prefix = make([]int32, np)
+	}
+	return s.biased[:nb], s.prefix[:np]
+}
+
+// ensure returns the arena resized to n tiles of at least colBytes/rowInts
+// capacity each.
+func (s *convScratch) ensure(n, colBytes, rowInts int) []colTile {
+	for len(s.tiles) < n {
+		s.tiles = append(s.tiles, colTile{})
+	}
+	for i := 0; i < n; i++ {
+		t := &s.tiles[i]
+		if cap(t.cols) < colBytes {
+			t.cols = make([]uint8, colBytes)
+		}
+		if cap(t.rowSum) < rowInts {
+			t.rowSum = make([]int32, rowInts)
+		}
+	}
+	return s.tiles[:n]
+}
+
+// convTileTargetBytes sizes the im2col band of one GEMM tile to stay
+// L1-resident: the kernel streams every packed weight row over the band, so
+// a hot band is what turns the blocking into a bandwidth win.
+const convTileTargetBytes = 24 << 10
+
+// convTileRows returns how many output rows one tile band covers.
+func convTileRows(ow, ckk, oh int) int {
+	r := convTileTargetBytes / (ow * ckk)
+	if r < 1 {
+		r = 1
+	}
+	if r > oh {
+		r = oh
+	}
+	return r
 }
 
 // convInt8 computes an INT8 convolution with int32 accumulation and DPU
 // round-shift requantization. bias is at fix position inFP+weightFP; shift
-// converts the accumulator to the output fix position. relu applies the
-// fused activation before saturation.
+// converts the accumulator to the output fix position; shift2 is the
+// store-target fusion's second requantization (0 when unfused). relu
+// applies the fused activation before saturation.
 //
-// The caller provides cols (≥ C·K²·OH·OW bytes) and rowSum (≥ OH·OW int32),
-// which receive the biased transposed im2col lowering, plus the node's
-// packed weights from packConvWeights (nil packed selects the generic
-// kernel, used when C·K² > maxPackedCKK). Each pixel's dot products run
-// eight output channels wide: one streaming read of the pixel's column row
-// feeds four dual-lane register accumulators, so every 64-bit multiply
-// retires two channels' products and the kernel performs no accumulator
-// loads or stores at all — the zero-point correction, bias, optional ReLU
-// and round-shift requantization are fused into the register write-back.
-// The result is bit-identical to the per-weight signed loop it replaces
-// (exact integer identity, including int32 wraparound).
-func convInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorr []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int, cols []uint8, rowSum []int32) {
+// The output plane is processed in cache-blocked tiles — bands of a few
+// output rows, sized by convTileRows — dispatched through par.ForChunkedID
+// with per-chunk scratch from sc, so the im2col band a GEMM tile consumes
+// stays L1-resident and the steady-state path allocates nothing. Within a
+// band the packed weights from packConvWeights run three output channels
+// per 64-bit multiply in 21-bit lanes, four weight rows (12 channels) at a
+// time, two pixels wide (nil packed selects the generic kernel, used when
+// C·K² > maxPackedCKK). Lanes spill into int32 accumulators every triChunk
+// taps so they can never carry; the zero-point correction, bias, optional
+// ReLU and round-shift requantization are fused into the register
+// write-back. The result is bit-identical to the per-weight signed loop it
+// replaces (exact integer identity, including int32 wraparound), and
+// identical at every worker count: tile geometry depends only on the node,
+// and each pixel's accumulation order is fixed.
+func convInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorr []int32, bias []int32, outC, k, stride, pad int, shift, shift2 int, relu bool, dst []int8, oh, ow int, sc *convScratch) {
 	ckk := c * k * k
 	hw := oh * ow
-	colT := cols[:hw*ckk]
-	rowSum = rowSum[:hw]
-	im2colInt8(src, c, h, w, k, stride, pad, colT, rowSum, oh, ow)
-	if packed == nil {
-		convInt8Generic(colT, rowSum, weight, bias, outC, ckk, shift, relu, dst, hw)
-		return
+	rowsPer := convTileRows(ow, ckk, oh)
+	nTiles := (oh + rowsPer - 1) / rowsPer
+	want := par.MaxWorkers()
+	if want > nTiles {
+		want = nTiles
 	}
-	pairs := (outC + 1) / 2
-	blocks := (pairs + 3) / 4
-	par.For(blocks, func(b int) {
-		r0 := 4 * b
-		if 2*(r0+4) <= outC {
-			convPacked8(colT, rowSum, packed, wCorr, bias, r0, ckk, shift, relu, dst, hw)
-			return
-		}
-		for r := r0; r < pairs; r++ {
-			convPacked2(colT, rowSum, packed, wCorr, bias, r, outC, ckk, shift, relu, dst, hw)
+	// Stride-1 layers with K² ≤ triChunk taps per channel plane skip the
+	// column matrix entirely: the GEMM kernels read tap quads straight off
+	// the padded biased plane (see convTri2x4Direct). Only the per-pixel
+	// zero-point sums are materialized per band.
+	direct := packed != nil && stride == 1 && k*k <= triChunk
+	colBytes := rowsPer * ow * ckk
+	if direct {
+		colBytes = 0
+	}
+	tiles := sc.ensure(want, colBytes, rowsPer*ow)
+	padded, prefix := sc.ensureInput(c, h, w, pad)
+	biasPrefixPadded(src, c, h, w, pad, padded, prefix)
+	par.ForChunkedID(nTiles, len(tiles), func(id, lo, hi int) {
+		tile := &tiles[id]
+		for t := lo; t < hi; t++ {
+			oyLo := t * rowsPer
+			oyHi := oyLo + rowsPer
+			if oyHi > oh {
+				oyHi = oh
+			}
+			npix := (oyHi - oyLo) * ow
+			rowSum := tile.rowSum[:npix]
+			rowSumBand(prefix, c, h, w, k, stride, pad, oyLo, oyHi, ow, rowSum)
+			j0 := oyLo * ow
+			// Greedy 2/1-row dispatch: pairs of tri-lane rows run the
+			// 2-row×4-pixel kernel at full multiplier density, a trailing
+			// odd row runs the full-density 1-row×8-pixel kernel. No padded
+			// ghost rows, so narrow layers pay only for the channels they
+			// have.
+			if direct {
+				cg := triChunk / (k * k)
+				rows := (outC + 2) / 3
+				for r0 := 0; r0 < rows; {
+					nch := outC - 3*r0
+					if rows-r0 >= 2 {
+						if nch > 6 {
+							nch = 6
+						}
+						convTri2x4Direct(padded, rowSum, packed, wCorr, bias, r0, nch, c, k, cg, ckk, h, w, pad, shift, shift2, relu, dst, oyLo, oyHi, ow, hw)
+						r0 += 2
+					} else {
+						convTri1x8Direct(padded, rowSum, packed, wCorr, bias, r0, nch, c, k, cg, ckk, h, w, pad, shift, shift2, relu, dst, oyLo, oyHi, ow, hw)
+						r0++
+					}
+				}
+				continue
+			}
+			colT := tile.cols[:npix*ckk]
+			im2colTaps(padded, c, h, w, k, stride, pad, oyLo, oyHi, ow, colT)
+			if packed == nil {
+				convInt8Generic(colT, rowSum, weight, bias, outC, ckk, npix, shift, shift2, relu, dst, j0, hw)
+				continue
+			}
+			rows := (outC + 2) / 3
+			for r0 := 0; r0 < rows; {
+				nch := outC - 3*r0
+				if rows-r0 >= 2 {
+					if nch > 6 {
+						nch = 6
+					}
+					convTri2x4(colT, rowSum, packed, wCorr, bias, r0, nch, ckk, npix, shift, shift2, relu, dst, j0, hw)
+					r0 += 2
+				} else {
+					convTri1x8(colT, rowSum, packed, wCorr, bias, r0, nch, ckk, npix, shift, shift2, relu, dst, j0, hw)
+					r0++
+				}
+			}
 		}
 	})
 }
 
-// convPacked8 is the hot GEMM tile: four dual-lane weight rows (eight
-// output channels, all valid) against every pixel's column row.
-func convPacked8(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, ckk, shift int, relu bool, dst []int8, hw int) {
-	pk0 := packed[(r0+0)*ckk : (r0+1)*ckk]
-	pk1 := packed[(r0+1)*ckk : (r0+2)*ckk]
-	pk2 := packed[(r0+2)*ckk : (r0+3)*ckk]
-	pk3 := packed[(r0+3)*ckk : (r0+4)*ckk]
-	oc0 := 2 * r0
-	d0 := dst[(oc0+0)*hw : (oc0+1)*hw]
-	d1 := dst[(oc0+1)*hw : (oc0+2)*hw]
-	d2 := dst[(oc0+2)*hw : (oc0+3)*hw]
-	d3 := dst[(oc0+3)*hw : (oc0+4)*hw]
-	d4 := dst[(oc0+4)*hw : (oc0+5)*hw]
-	d5 := dst[(oc0+5)*hw : (oc0+6)*hw]
-	d6 := dst[(oc0+6)*hw : (oc0+7)*hw]
-	d7 := dst[(oc0+7)*hw : (oc0+8)*hw]
-	w0, w1, w2, w3 := wCorr[oc0], wCorr[oc0+1], wCorr[oc0+2], wCorr[oc0+3]
-	w4, w5, w6, w7 := wCorr[oc0+4], wCorr[oc0+5], wCorr[oc0+6], wCorr[oc0+7]
-	b0, b1, b2, b3 := bias[oc0], bias[oc0+1], bias[oc0+2], bias[oc0+3]
-	b4, b5, b6, b7 := bias[oc0+4], bias[oc0+5], bias[oc0+6], bias[oc0+7]
-	for j := 0; j < hw; j++ {
-		ct := colT[j*ckk : (j+1)*ckk]
-		var a0, a1, a2, a3 uint64
-		for p, cv := range ct {
-			v := uint64(cv)
-			a0 += pk0[p] * v
-			a1 += pk1[p] * v
-			a2 += pk2[p] * v
-			a3 += pk3[p] * v
+// convTriTailDirect accumulates one packed weight row's three 21-bit lanes
+// for a single output pixel straight off the padded plane, spilling lanes
+// every cg channel planes (cg·K² ≤ triChunk taps, so lanes cannot carry).
+func convTriTailDirect(pl []uint8, ph, pw, c, k, cg int, pk []uint64, oy, ox int) (int32, int32, int32) {
+	var l0, l1, l2 int32
+	wp := 0
+	for cb := 0; cb < c; cb += cg {
+		ce := cb + cg
+		if ce > c {
+			ce = c
 		}
-		rs := rowSum[j]
-		d0[j] = finalizeOne(int32(uint32(a0))-rs+w0, b0, relu, shift)
-		d1[j] = finalizeOne(int32(uint32(a0>>32))-rs+w1, b1, relu, shift)
-		d2[j] = finalizeOne(int32(uint32(a1))-rs+w2, b2, relu, shift)
-		d3[j] = finalizeOne(int32(uint32(a1>>32))-rs+w3, b3, relu, shift)
-		d4[j] = finalizeOne(int32(uint32(a2))-rs+w4, b4, relu, shift)
-		d5[j] = finalizeOne(int32(uint32(a2>>32))-rs+w5, b5, relu, shift)
-		d6[j] = finalizeOne(int32(uint32(a3))-rs+w6, b6, relu, shift)
-		d7[j] = finalizeOne(int32(uint32(a3>>32))-rs+w7, b7, relu, shift)
+		var a uint64
+		for ci := cb; ci < ce; ci++ {
+			rbase := (ci*ph+oy)*pw + ox
+			for ky := 0; ky < k; ky++ {
+				for _, bv := range pl[rbase : rbase+k] {
+					a += pk[wp] * uint64(bv)
+					wp++
+				}
+				rbase += pw
+			}
+		}
+		l0 += int32(a & triLaneMask)
+		l1 += int32((a >> 21) & triLaneMask)
+		l2 += int32(a >> 42)
+	}
+	return l0, l1, l2
+}
+
+// convTri2x4Direct is the stride-1 GEMM workhorse: two tri-lane weight rows
+// (up to six output channels) against four neighbouring pixels whose bytes
+// come from one 32-bit load on the padded biased input plane — no column
+// matrix is materialized at all. Lane spills happen once per cg channel
+// planes (cg·K² ≤ triChunk taps), a partition at least as fine as the
+// column path's triChunk, so accumulation stays exact and bit-identical.
+// Accumulator s[ch·4+q] holds channel 3·r0+ch at pixel (oy, ox+q).
+func convTri2x4Direct(pl []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, nch, c, k, cg, ckk, h, w, pad int, shift, shift2 int, relu bool, dst []int8, oyLo, oyHi, ow, hw int) {
+	ph, pw := h+2*pad, w+2*pad
+	pkA := packed[(r0+0)*ckk : (r0+1)*ckk]
+	pkB := packed[(r0+1)*ckk : (r0+2)*ckk]
+	pkB = pkB[:len(pkA)]
+	oc0 := 3 * r0
+	fast := shift > 0 && shift2 >= 0
+	var us, us2 uint
+	var half, half2 int64
+	if fast {
+		us, half = uint(shift), int64(1)<<uint(shift-1)
+		if shift2 > 0 {
+			us2, half2 = uint(shift2), int64(1)<<uint(shift2-1)
+		}
+	}
+	var s [24]int32
+	for oy := oyLo; oy < oyHi; oy++ {
+		jrow := (oy - oyLo) * ow
+		ox := 0
+		for ; ox+3 < ow; ox += 4 {
+			for i := range s {
+				s[i] = 0
+			}
+			wp := 0
+			for cb := 0; cb < c; cb += cg {
+				ce := cb + cg
+				if ce > c {
+					ce = c
+				}
+				var a0, a1, a2, a3, b0, b1, b2, b3 uint64
+				if k == 3 {
+					// Fully unrolled 3×3 body: three shifted 32-bit loads per
+					// kernel row, no inner-tap loop overhead.
+					for ci := cb; ci < ce; ci++ {
+						rbase := (ci*ph+oy)*pw + ox
+						for ky := 0; ky < 3; ky++ {
+							row := pl[rbase : rbase+6 : rbase+6]
+							pa := pkA[wp : wp+3 : wp+3]
+							pb := pkB[wp : wp+3 : wp+3]
+							quad := binary.LittleEndian.Uint32(row)
+							v0 := uint64(quad & 0xff)
+							v1 := uint64((quad >> 8) & 0xff)
+							v2 := uint64((quad >> 16) & 0xff)
+							v3 := uint64(quad >> 24)
+							u0, u1 := pa[0], pb[0]
+							a0 += u0 * v0
+							a1 += u0 * v1
+							a2 += u0 * v2
+							a3 += u0 * v3
+							b0 += u1 * v0
+							b1 += u1 * v1
+							b2 += u1 * v2
+							b3 += u1 * v3
+							quad = binary.LittleEndian.Uint32(row[1:])
+							v0 = uint64(quad & 0xff)
+							v1 = uint64((quad >> 8) & 0xff)
+							v2 = uint64((quad >> 16) & 0xff)
+							v3 = uint64(quad >> 24)
+							u0, u1 = pa[1], pb[1]
+							a0 += u0 * v0
+							a1 += u0 * v1
+							a2 += u0 * v2
+							a3 += u0 * v3
+							b0 += u1 * v0
+							b1 += u1 * v1
+							b2 += u1 * v2
+							b3 += u1 * v3
+							quad = binary.LittleEndian.Uint32(row[2:])
+							v0 = uint64(quad & 0xff)
+							v1 = uint64((quad >> 8) & 0xff)
+							v2 = uint64((quad >> 16) & 0xff)
+							v3 = uint64(quad >> 24)
+							u0, u1 = pa[2], pb[2]
+							a0 += u0 * v0
+							a1 += u0 * v1
+							a2 += u0 * v2
+							a3 += u0 * v3
+							b0 += u1 * v0
+							b1 += u1 * v1
+							b2 += u1 * v2
+							b3 += u1 * v3
+							wp += 3
+							rbase += pw
+						}
+					}
+				} else {
+					for ci := cb; ci < ce; ci++ {
+						rbase := (ci*ph+oy)*pw + ox
+						for ky := 0; ky < k; ky++ {
+							row := pl[rbase : rbase+k+3]
+							for kx := 0; kx < k; kx++ {
+								quad := binary.LittleEndian.Uint32(row[kx:])
+								v0 := uint64(quad & 0xff)
+								v1 := uint64((quad >> 8) & 0xff)
+								v2 := uint64((quad >> 16) & 0xff)
+								v3 := uint64(quad >> 24)
+								u0, u1 := pkA[wp], pkB[wp]
+								wp++
+								a0 += u0 * v0
+								a1 += u0 * v1
+								a2 += u0 * v2
+								a3 += u0 * v3
+								b0 += u1 * v0
+								b1 += u1 * v1
+								b2 += u1 * v2
+								b3 += u1 * v3
+							}
+							rbase += pw
+						}
+					}
+				}
+				s[0] += int32(a0 & triLaneMask)
+				s[4] += int32((a0 >> 21) & triLaneMask)
+				s[8] += int32(a0 >> 42)
+				s[1] += int32(a1 & triLaneMask)
+				s[5] += int32((a1 >> 21) & triLaneMask)
+				s[9] += int32(a1 >> 42)
+				s[2] += int32(a2 & triLaneMask)
+				s[6] += int32((a2 >> 21) & triLaneMask)
+				s[10] += int32(a2 >> 42)
+				s[3] += int32(a3 & triLaneMask)
+				s[7] += int32((a3 >> 21) & triLaneMask)
+				s[11] += int32(a3 >> 42)
+				s[12] += int32(b0 & triLaneMask)
+				s[16] += int32((b0 >> 21) & triLaneMask)
+				s[20] += int32(b0 >> 42)
+				s[13] += int32(b1 & triLaneMask)
+				s[17] += int32((b1 >> 21) & triLaneMask)
+				s[21] += int32(b1 >> 42)
+				s[14] += int32(b2 & triLaneMask)
+				s[18] += int32((b2 >> 21) & triLaneMask)
+				s[22] += int32(b2 >> 42)
+				s[15] += int32(b3 & triLaneMask)
+				s[19] += int32((b3 >> 21) & triLaneMask)
+				s[23] += int32(b3 >> 42)
+			}
+			j := jrow + ox
+			if fast {
+				for ch := 0; ch < nch; ch++ {
+					oc := oc0 + ch
+					lanes, bi := s[ch*4:ch*4+4], int64(bias[oc])
+					d := dst[oc*hw+oy*ow+ox:]
+					d = d[:4]
+					corr := wCorr[oc]
+					for q := 0; q < 4; q++ {
+						v := int64(lanes[q]-rowSum[j+q]+corr) + bi
+						if relu {
+							v &^= v >> 63
+						}
+						r := roundSat8(v, us, half)
+						if us2 != 0 {
+							r = roundSat8(int64(r), us2, half2)
+						}
+						d[q] = r
+					}
+				}
+			} else {
+				for ch := 0; ch < nch; ch++ {
+					oc := oc0 + ch
+					d := dst[oc*hw+oy*ow+ox:]
+					for q := 0; q < 4; q++ {
+						d[q] = finalizeFused(s[ch*4+q]-rowSum[j+q]+wCorr[oc], bias[oc], relu, shift, shift2)
+					}
+				}
+			}
+		}
+		for ; ox < ow; ox++ {
+			rs := rowSum[jrow+ox]
+			l0, l1, l2 := convTriTailDirect(pl, ph, pw, c, k, cg, pkA, oy, ox)
+			m0, m1, m2 := convTriTailDirect(pl, ph, pw, c, k, cg, pkB, oy, ox)
+			lane := [6]int32{l0, l1, l2, m0, m1, m2}
+			for ch := 0; ch < nch; ch++ {
+				oc := oc0 + ch
+				dst[oc*hw+oy*ow+ox] = finalizeFused(lane[ch]-rs+wCorr[oc], bias[oc], relu, shift, shift2)
+			}
+		}
 	}
 }
 
-// convPacked2 handles one trailing weight pair; the high lane is skipped
-// when OutC is odd (its packed weights are zero and never read back).
-func convPacked2(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r, outC, ckk, shift int, relu bool, dst []int8, hw int) {
-	pk := packed[r*ckk : (r+1)*ckk]
-	oc0 := 2 * r
-	d0 := dst[oc0*hw : (oc0+1)*hw]
-	w0, b0 := wCorr[oc0], bias[oc0]
-	var d1 []int8
-	var w1, b1 int32
-	hasHi := oc0+1 < outC
-	if hasHi {
-		d1 = dst[(oc0+1)*hw : (oc0+2)*hw]
-		w1, b1 = wCorr[oc0+1], bias[oc0+1]
-	}
-	for j := 0; j < hw; j++ {
-		ct := colT[j*ckk : (j+1)*ckk]
-		var a uint64
-		for p, cv := range ct {
-			a += pk[p] * uint64(cv)
+// convTri1x8Direct handles the last odd tri-lane row against eight pixels
+// per pass with a single 64-bit plane load — the direct-path counterpart of
+// convTri1x8, at the same multiplier density as the paired kernel.
+func convTri1x8Direct(pl []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, nch, c, k, cg, ckk, h, w, pad int, shift, shift2 int, relu bool, dst []int8, oyLo, oyHi, ow, hw int) {
+	ph, pw := h+2*pad, w+2*pad
+	pk := packed[r0*ckk : (r0+1)*ckk]
+	oc0 := 3 * r0
+	var s [24]int32
+	for oy := oyLo; oy < oyHi; oy++ {
+		jrow := (oy - oyLo) * ow
+		ox := 0
+		for ; ox+7 < ow; ox += 8 {
+			for i := range s {
+				s[i] = 0
+			}
+			wp := 0
+			for cb := 0; cb < c; cb += cg {
+				ce := cb + cg
+				if ce > c {
+					ce = c
+				}
+				var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+				if k == 3 {
+					// Fully unrolled 3×3 body: three shifted 64-bit loads per
+					// kernel row, no inner-tap loop overhead.
+					for ci := cb; ci < ce; ci++ {
+						rbase := (ci*ph+oy)*pw + ox
+						for ky := 0; ky < 3; ky++ {
+							row := pl[rbase : rbase+10 : rbase+10]
+							pa := pk[wp : wp+3 : wp+3]
+							oct := binary.LittleEndian.Uint64(row)
+							u := pa[0]
+							a0 += u * (oct & 0xff)
+							a1 += u * ((oct >> 8) & 0xff)
+							a2 += u * ((oct >> 16) & 0xff)
+							a3 += u * ((oct >> 24) & 0xff)
+							a4 += u * ((oct >> 32) & 0xff)
+							a5 += u * ((oct >> 40) & 0xff)
+							a6 += u * ((oct >> 48) & 0xff)
+							a7 += u * (oct >> 56)
+							oct = binary.LittleEndian.Uint64(row[1:])
+							u = pa[1]
+							a0 += u * (oct & 0xff)
+							a1 += u * ((oct >> 8) & 0xff)
+							a2 += u * ((oct >> 16) & 0xff)
+							a3 += u * ((oct >> 24) & 0xff)
+							a4 += u * ((oct >> 32) & 0xff)
+							a5 += u * ((oct >> 40) & 0xff)
+							a6 += u * ((oct >> 48) & 0xff)
+							a7 += u * (oct >> 56)
+							oct = binary.LittleEndian.Uint64(row[2:])
+							u = pa[2]
+							a0 += u * (oct & 0xff)
+							a1 += u * ((oct >> 8) & 0xff)
+							a2 += u * ((oct >> 16) & 0xff)
+							a3 += u * ((oct >> 24) & 0xff)
+							a4 += u * ((oct >> 32) & 0xff)
+							a5 += u * ((oct >> 40) & 0xff)
+							a6 += u * ((oct >> 48) & 0xff)
+							a7 += u * (oct >> 56)
+							wp += 3
+							rbase += pw
+						}
+					}
+				} else {
+					for ci := cb; ci < ce; ci++ {
+						rbase := (ci*ph+oy)*pw + ox
+						for ky := 0; ky < k; ky++ {
+							row := pl[rbase : rbase+k+7]
+							for kx := 0; kx < k; kx++ {
+								oct := binary.LittleEndian.Uint64(row[kx:])
+								u := pk[wp]
+								wp++
+								a0 += u * (oct & 0xff)
+								a1 += u * ((oct >> 8) & 0xff)
+								a2 += u * ((oct >> 16) & 0xff)
+								a3 += u * ((oct >> 24) & 0xff)
+								a4 += u * ((oct >> 32) & 0xff)
+								a5 += u * ((oct >> 40) & 0xff)
+								a6 += u * ((oct >> 48) & 0xff)
+								a7 += u * (oct >> 56)
+							}
+							rbase += pw
+						}
+					}
+				}
+				s[0] += int32(a0 & triLaneMask)
+				s[8] += int32((a0 >> 21) & triLaneMask)
+				s[16] += int32(a0 >> 42)
+				s[1] += int32(a1 & triLaneMask)
+				s[9] += int32((a1 >> 21) & triLaneMask)
+				s[17] += int32(a1 >> 42)
+				s[2] += int32(a2 & triLaneMask)
+				s[10] += int32((a2 >> 21) & triLaneMask)
+				s[18] += int32(a2 >> 42)
+				s[3] += int32(a3 & triLaneMask)
+				s[11] += int32((a3 >> 21) & triLaneMask)
+				s[19] += int32(a3 >> 42)
+				s[4] += int32(a4 & triLaneMask)
+				s[12] += int32((a4 >> 21) & triLaneMask)
+				s[20] += int32(a4 >> 42)
+				s[5] += int32(a5 & triLaneMask)
+				s[13] += int32((a5 >> 21) & triLaneMask)
+				s[21] += int32(a5 >> 42)
+				s[6] += int32(a6 & triLaneMask)
+				s[14] += int32((a6 >> 21) & triLaneMask)
+				s[22] += int32(a6 >> 42)
+				s[7] += int32(a7 & triLaneMask)
+				s[15] += int32((a7 >> 21) & triLaneMask)
+				s[23] += int32(a7 >> 42)
+			}
+			j := jrow + ox
+			for ch := 0; ch < nch; ch++ {
+				oc := oc0 + ch
+				d := dst[oc*hw+oy*ow+ox:]
+				for q := 0; q < 8; q++ {
+					d[q] = finalizeFused(s[ch*8+q]-rowSum[j+q]+wCorr[oc], bias[oc], relu, shift, shift2)
+				}
+			}
 		}
+		for ; ox < ow; ox++ {
+			rs := rowSum[jrow+ox]
+			l0, l1, l2 := convTriTailDirect(pl, ph, pw, c, k, cg, pk, oy, ox)
+			lane := [3]int32{l0, l1, l2}
+			for ch := 0; ch < nch; ch++ {
+				oc := oc0 + ch
+				dst[oc*hw+oy*ow+ox] = finalizeFused(lane[ch]-rs+wCorr[oc], bias[oc], relu, shift, shift2)
+			}
+		}
+	}
+}
+
+// convTriTailPixel accumulates the three 21-bit lanes of one packed weight
+// row against a single pixel's tap column in the tap-major band (stride
+// npix between taps), spilling lanes every triChunk taps.
+func convTriTailPixel(colT []uint8, npix, j int, pk []uint64, ckk int) (int32, int32, int32) {
+	var l0, l1, l2 int32
+	for base := 0; base < ckk; base += triChunk {
+		end := base + triChunk
+		if end > ckk {
+			end = ckk
+		}
+		off := base*npix + j
+		var a uint64
+		for _, u := range pk[base:end] {
+			a += u * uint64(colT[off])
+			off += npix
+		}
+		l0 += int32(a & triLaneMask)
+		l1 += int32((a >> 21) & triLaneMask)
+		l2 += int32(a >> 42)
+	}
+	return l0, l1, l2
+}
+
+// convTri2x4 is the workhorse GEMM tile: two tri-lane weight rows (up to six
+// output channels) against four neighbouring pixels whose bytes arrive in a
+// single 32-bit load from the tap-major column band. Eight independent
+// accumulator chains keep the scalar multiplier saturated at full tri-lane
+// density even on narrow layers, where wider row blocking would burn ghost
+// rows. Accumulator s[c*4+q] holds channel 3·r0+c at pixel j+q.
+func convTri2x4(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, nch, ckk, npix, shift, shift2 int, relu bool, dst []int8, j0, hw int) {
+	pkA := packed[(r0+0)*ckk : (r0+1)*ckk]
+	pkB := packed[(r0+1)*ckk : (r0+2)*ckk]
+	oc0 := 3 * r0
+	fast := shift > 0 && shift2 >= 0
+	var us, us2 uint
+	var half, half2 int64
+	if fast {
+		us, half = uint(shift), int64(1)<<uint(shift-1)
+		if shift2 > 0 {
+			us2, half2 = uint(shift2), int64(1)<<uint(shift2-1)
+		}
+	}
+	var s [24]int32
+	j := 0
+	for ; j+3 < npix; j += 4 {
+		for i := range s {
+			s[i] = 0
+		}
+		for base := 0; base < ckk; base += triChunk {
+			end := base + triChunk
+			if end > ckk {
+				end = ckk
+			}
+			q0 := pkA[base:end]
+			q1 := pkB[base:end]
+			q1 = q1[:len(q0)]
+			off := base*npix + j
+			var a0, a1, a2, a3, b0, b1, b2, b3 uint64
+			for p := range q0 {
+				quad := binary.LittleEndian.Uint32(colT[off:])
+				v0 := uint64(quad & 0xff)
+				v1 := uint64((quad >> 8) & 0xff)
+				v2 := uint64((quad >> 16) & 0xff)
+				v3 := uint64(quad >> 24)
+				u0, u1 := q0[p], q1[p]
+				a0 += u0 * v0
+				a1 += u0 * v1
+				a2 += u0 * v2
+				a3 += u0 * v3
+				b0 += u1 * v0
+				b1 += u1 * v1
+				b2 += u1 * v2
+				b3 += u1 * v3
+				off += npix
+			}
+			s[0] += int32(a0 & triLaneMask)
+			s[4] += int32((a0 >> 21) & triLaneMask)
+			s[8] += int32(a0 >> 42)
+			s[1] += int32(a1 & triLaneMask)
+			s[5] += int32((a1 >> 21) & triLaneMask)
+			s[9] += int32(a1 >> 42)
+			s[2] += int32(a2 & triLaneMask)
+			s[6] += int32((a2 >> 21) & triLaneMask)
+			s[10] += int32(a2 >> 42)
+			s[3] += int32(a3 & triLaneMask)
+			s[7] += int32((a3 >> 21) & triLaneMask)
+			s[11] += int32(a3 >> 42)
+			s[12] += int32(b0 & triLaneMask)
+			s[16] += int32((b0 >> 21) & triLaneMask)
+			s[20] += int32(b0 >> 42)
+			s[13] += int32(b1 & triLaneMask)
+			s[17] += int32((b1 >> 21) & triLaneMask)
+			s[21] += int32(b1 >> 42)
+			s[14] += int32(b2 & triLaneMask)
+			s[18] += int32((b2 >> 21) & triLaneMask)
+			s[22] += int32(b2 >> 42)
+			s[15] += int32(b3 & triLaneMask)
+			s[19] += int32((b3 >> 21) & triLaneMask)
+			s[23] += int32(b3 >> 42)
+		}
+		if fast {
+			for c := 0; c < nch; c++ {
+				oc := oc0 + c
+				wc, bi := s[c*4:c*4+4], int64(bias[oc])
+				d := dst[oc*hw+j0+j:]
+				d = d[:4]
+				corr := wCorr[oc]
+				for q := 0; q < 4; q++ {
+					v := int64(wc[q]-rowSum[j+q]+corr) + bi
+					if relu {
+						v &^= v >> 63
+					}
+					r := roundSat8(v, us, half)
+					if us2 != 0 {
+						r = roundSat8(int64(r), us2, half2)
+					}
+					d[q] = r
+				}
+			}
+		} else {
+			for c := 0; c < nch; c++ {
+				oc := oc0 + c
+				d := dst[oc*hw+j0+j:]
+				for q := 0; q < 4; q++ {
+					d[q] = finalizeFused(s[c*4+q]-rowSum[j+q]+wCorr[oc], bias[oc], relu, shift, shift2)
+				}
+			}
+		}
+	}
+	// Tail pixels (band width not a multiple of four) run strided.
+	for ; j < npix; j++ {
 		rs := rowSum[j]
-		d0[j] = finalizeOne(int32(uint32(a))-rs+w0, b0, relu, shift)
-		if hasHi {
-			d1[j] = finalizeOne(int32(uint32(a>>32))-rs+w1, b1, relu, shift)
+		l0, l1, l2 := convTriTailPixel(colT, npix, j, pkA, ckk)
+		m0, m1, m2 := convTriTailPixel(colT, npix, j, pkB, ckk)
+		lane := [6]int32{l0, l1, l2, m0, m1, m2}
+		for c := 0; c < nch; c++ {
+			oc := oc0 + c
+			dst[oc*hw+j0+j] = finalizeFused(lane[c]-rs+wCorr[oc], bias[oc], relu, shift, shift2)
+		}
+	}
+}
+
+// convTri1x8 handles the last odd tri-lane row (up to three channels):
+// one weight row against eight pixels per pass, whose bytes arrive in a
+// single 64-bit load. Eight accumulator chains keep this remainder row at
+// the same multiplier density as the paired kernel above.
+func convTri1x8(colT []uint8, rowSum []int32, packed []uint64, wCorr, bias []int32, r0, nch, ckk, npix, shift, shift2 int, relu bool, dst []int8, j0, hw int) {
+	pk := packed[r0*ckk : (r0+1)*ckk]
+	oc0 := 3 * r0
+	var s [24]int32
+	j := 0
+	for ; j+7 < npix; j += 8 {
+		for i := range s {
+			s[i] = 0
+		}
+		for base := 0; base < ckk; base += triChunk {
+			end := base + triChunk
+			if end > ckk {
+				end = ckk
+			}
+			q0 := pk[base:end]
+			off := base*npix + j
+			var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+			for _, u := range q0 {
+				oct := binary.LittleEndian.Uint64(colT[off:])
+				a0 += u * (oct & 0xff)
+				a1 += u * ((oct >> 8) & 0xff)
+				a2 += u * ((oct >> 16) & 0xff)
+				a3 += u * ((oct >> 24) & 0xff)
+				a4 += u * ((oct >> 32) & 0xff)
+				a5 += u * ((oct >> 40) & 0xff)
+				a6 += u * ((oct >> 48) & 0xff)
+				a7 += u * (oct >> 56)
+				off += npix
+			}
+			s[0] += int32(a0 & triLaneMask)
+			s[8] += int32((a0 >> 21) & triLaneMask)
+			s[16] += int32(a0 >> 42)
+			s[1] += int32(a1 & triLaneMask)
+			s[9] += int32((a1 >> 21) & triLaneMask)
+			s[17] += int32(a1 >> 42)
+			s[2] += int32(a2 & triLaneMask)
+			s[10] += int32((a2 >> 21) & triLaneMask)
+			s[18] += int32(a2 >> 42)
+			s[3] += int32(a3 & triLaneMask)
+			s[11] += int32((a3 >> 21) & triLaneMask)
+			s[19] += int32(a3 >> 42)
+			s[4] += int32(a4 & triLaneMask)
+			s[12] += int32((a4 >> 21) & triLaneMask)
+			s[20] += int32(a4 >> 42)
+			s[5] += int32(a5 & triLaneMask)
+			s[13] += int32((a5 >> 21) & triLaneMask)
+			s[21] += int32(a5 >> 42)
+			s[6] += int32(a6 & triLaneMask)
+			s[14] += int32((a6 >> 21) & triLaneMask)
+			s[22] += int32(a6 >> 42)
+			s[7] += int32(a7 & triLaneMask)
+			s[15] += int32((a7 >> 21) & triLaneMask)
+			s[23] += int32(a7 >> 42)
+		}
+		for c := 0; c < nch; c++ {
+			oc := oc0 + c
+			d := dst[oc*hw+j0+j:]
+			for q := 0; q < 8; q++ {
+				d[q] = finalizeFused(s[c*8+q]-rowSum[j+q]+wCorr[oc], bias[oc], relu, shift, shift2)
+			}
+		}
+	}
+	for ; j < npix; j++ {
+		rs := rowSum[j]
+		l0, l1, l2 := convTriTailPixel(colT, npix, j, pk, ckk)
+		lane := [3]int32{l0, l1, l2}
+		for c := 0; c < nch; c++ {
+			oc := oc0 + c
+			dst[oc*hw+j0+j] = finalizeFused(lane[c]-rs+wCorr[oc], bias[oc], relu, shift, shift2)
 		}
 	}
 }
 
 // convInt8Generic is the unpacked fallback for reductions too deep for
-// lane-safe packing. It consumes the same biased column matrix, unbiasing
-// inline; accumulation order matches the packed kernels tap for tap.
-func convInt8Generic(colT []uint8, rowSum []int32, weight []int8, bias []int32, outC, ckk, shift int, relu bool, dst []int8, hw int) {
+// lane-safe packing. It walks the tap-major column band with stride npix,
+// unbiasing inline; accumulation order matches the packed kernels tap for
+// tap. Runs serially — the tile dispatch above it carries the parallelism.
+func convInt8Generic(colT []uint8, rowSum []int32, weight []int8, bias []int32, outC, ckk, npix, shift, shift2 int, relu bool, dst []int8, j0, hw int) {
 	_ = rowSum
-	par.For(outC, func(oc int) {
+	for oc := 0; oc < outC; oc++ {
 		wr := weight[oc*ckk : (oc+1)*ckk]
-		d := dst[oc*hw : (oc+1)*hw]
+		d := dst[oc*hw+j0:]
 		b := bias[oc]
-		for j := 0; j < hw; j++ {
-			ct := colT[j*ckk : (j+1)*ckk]
+		for j := 0; j < npix; j++ {
 			var s int32
-			for p, cv := range ct {
-				s += int32(wr[p]) * (int32(cv) - 128)
+			off := j
+			for _, wv := range wr {
+				s += int32(wv) * (int32(colT[off]) - 128)
+				off += npix
 			}
-			d[j] = finalizeOne(s, b, relu, shift)
+			d[j] = finalizeFused(s, b, relu, shift, shift2)
 		}
-	})
+	}
 }
 
 // packDconvWeights lowers a transpose-convolution weight tensor (layout
 // [InC, OutC, K, K], so column row r reduces over InC with stride OutC·K²)
-// into the same biased dual-lane form as packConvWeights: row pair r stores
-// uint64(W[ic][2r]+128) | uint64(W[ic][2r+1]+128)<<32 indexed by ic, and
+// into the same biased tri-lane form as packConvWeights: row triple r
+// stores uint64(W[ic][3r]+128) | uint64(W[ic][3r+1]+128)<<21 |
+// uint64(W[ic][3r+2]+128)<<42 indexed by ic, and
 // wCorr[r] = 128²·InC − 128·Σ_ic(W[ic][r]+128).
 func packDconvWeights(weight []int8, c, ckk int) ([]uint64, []int32) {
-	pairs := (ckk + 1) / 2
-	packed := make([]uint64, pairs*c)
+	rows := ((ckk+2)/3 + 3) / 4 * 4
+	packed := make([]uint64, rows*c)
 	wCorr := make([]int32, ckk)
 	for r := 0; r < ckk; r++ {
-		prow := packed[(r/2)*c : (r/2+1)*c]
-		shiftBits := uint(32 * (r & 1))
+		prow := packed[(r/3)*c : (r/3+1)*c]
+		shiftBits := uint(21 * (r % 3))
 		var sum int32
 		for ic := 0; ic < c; ic++ {
 			b := int32(weight[ic*ckk+r]) + 128
@@ -354,88 +1136,132 @@ func transposeBiased(src []int8, c, hw int, xT []uint8, colSum []int32) {
 	})
 }
 
-// dconvPacked8 computes eight column rows (four dual-lane weight pairs, all
-// valid) of the transpose-convolution GEMM against every input pixel's
-// biased channel row, writing exact int32 columns.
-func dconvPacked8(xT []uint8, colSum []int32, packed []uint64, wCorr []int32, r0, c int, cols []int32, hw int) {
-	pk0 := packed[(r0+0)*c : (r0+1)*c]
-	pk1 := packed[(r0+1)*c : (r0+2)*c]
-	pk2 := packed[(r0+2)*c : (r0+3)*c]
-	pk3 := packed[(r0+3)*c : (r0+4)*c]
-	row0 := 2 * r0
-	c0 := cols[(row0+0)*hw : (row0+1)*hw]
-	c1 := cols[(row0+1)*hw : (row0+2)*hw]
-	c2 := cols[(row0+2)*hw : (row0+3)*hw]
-	c3 := cols[(row0+3)*hw : (row0+4)*hw]
-	c4 := cols[(row0+4)*hw : (row0+5)*hw]
-	c5 := cols[(row0+5)*hw : (row0+6)*hw]
-	c6 := cols[(row0+6)*hw : (row0+7)*hw]
-	c7 := cols[(row0+7)*hw : (row0+8)*hw]
-	w0, w1, w2, w3 := wCorr[row0], wCorr[row0+1], wCorr[row0+2], wCorr[row0+3]
-	w4, w5, w6, w7 := wCorr[row0+4], wCorr[row0+5], wCorr[row0+6], wCorr[row0+7]
-	for j := 0; j < hw; j++ {
-		xr := xT[j*c : (j+1)*c]
-		var a0, a1, a2, a3 uint64
-		for p, xv := range xr {
-			v := uint64(xv)
-			a0 += pk0[p] * v
-			a1 += pk1[p] * v
-			a2 += pk2[p] * v
-			a3 += pk3[p] * v
+// dconvTri4 computes four tri-lane weight rows (up to twelve column rows,
+// nrow valid) of the transpose-convolution GEMM against every input pixel's
+// biased channel row, two pixels per pass, writing exact int32 columns.
+// Lanes spill into int32 accumulators every triChunk channels exactly like
+// the convolution kernels.
+func dconvTri4(xT []uint8, colSum []int32, packed []uint64, wCorr []int32, r0, nrow, c int, cols []int32, hw int) {
+	pkA := packed[(r0+0)*c : (r0+1)*c]
+	pkB := packed[(r0+1)*c : (r0+2)*c]
+	pkC := packed[(r0+2)*c : (r0+3)*c]
+	pkD := packed[(r0+3)*c : (r0+4)*c]
+	row0 := 3 * r0
+	var s, t [12]int32
+	j := 0
+	for ; j+1 < hw; j += 2 {
+		xa := xT[j*c : (j+1)*c]
+		xb := xT[(j+1)*c : (j+2)*c]
+		for r := range s {
+			s[r] = 0
+			t[r] = 0
 		}
+		for base := 0; base < c; base += triChunk {
+			end := base + triChunk
+			if end > c {
+				end = c
+			}
+			ca, cb := xa[base:end], xb[base:end]
+			q0, q1, q2, q3 := pkA[base:end], pkB[base:end], pkC[base:end], pkD[base:end]
+			cb = cb[:len(ca)]
+			q0 = q0[:len(ca)]
+			q1 = q1[:len(ca)]
+			q2 = q2[:len(ca)]
+			q3 = q3[:len(ca)]
+			var a0, a1, a2, a3, e0, e1, e2, e3 uint64
+			for p, xv := range ca {
+				va, vb := uint64(xv), uint64(cb[p])
+				u0, u1, u2, u3 := q0[p], q1[p], q2[p], q3[p]
+				a0 += u0 * va
+				a1 += u1 * va
+				a2 += u2 * va
+				a3 += u3 * va
+				e0 += u0 * vb
+				e1 += u1 * vb
+				e2 += u2 * vb
+				e3 += u3 * vb
+			}
+			s[0] += int32(a0 & triLaneMask)
+			s[1] += int32((a0 >> 21) & triLaneMask)
+			s[2] += int32(a0 >> 42)
+			s[3] += int32(a1 & triLaneMask)
+			s[4] += int32((a1 >> 21) & triLaneMask)
+			s[5] += int32(a1 >> 42)
+			s[6] += int32(a2 & triLaneMask)
+			s[7] += int32((a2 >> 21) & triLaneMask)
+			s[8] += int32(a2 >> 42)
+			s[9] += int32(a3 & triLaneMask)
+			s[10] += int32((a3 >> 21) & triLaneMask)
+			s[11] += int32(a3 >> 42)
+			t[0] += int32(e0 & triLaneMask)
+			t[1] += int32((e0 >> 21) & triLaneMask)
+			t[2] += int32(e0 >> 42)
+			t[3] += int32(e1 & triLaneMask)
+			t[4] += int32((e1 >> 21) & triLaneMask)
+			t[5] += int32(e1 >> 42)
+			t[6] += int32(e2 & triLaneMask)
+			t[7] += int32((e2 >> 21) & triLaneMask)
+			t[8] += int32(e2 >> 42)
+			t[9] += int32(e3 & triLaneMask)
+			t[10] += int32((e3 >> 21) & triLaneMask)
+			t[11] += int32(e3 >> 42)
+		}
+		csA, csB := colSum[j], colSum[j+1]
+		for r := 0; r < nrow; r++ {
+			crow := cols[(row0+r)*hw:]
+			wc := wCorr[row0+r]
+			crow[j] = s[r] - csA + wc
+			crow[j+1] = t[r] - csB + wc
+		}
+	}
+	if j < hw {
+		dconvTriPixel(xT[j*c:(j+1)*c], packed, r0, (nrow+2)/3, c, &s)
 		cs := colSum[j]
-		c0[j] = int32(uint32(a0)) - cs + w0
-		c1[j] = int32(uint32(a0>>32)) - cs + w1
-		c2[j] = int32(uint32(a1)) - cs + w2
-		c3[j] = int32(uint32(a1>>32)) - cs + w3
-		c4[j] = int32(uint32(a2)) - cs + w4
-		c5[j] = int32(uint32(a2>>32)) - cs + w5
-		c6[j] = int32(uint32(a3)) - cs + w6
-		c7[j] = int32(uint32(a3>>32)) - cs + w7
+		for r := 0; r < nrow; r++ {
+			cols[(row0+r)*hw+j] = s[r] - cs + wCorr[row0+r]
+		}
 	}
 }
 
-// dconvPacked2 handles one trailing column-row pair; the high lane is
-// skipped when OutC·K² is odd.
-func dconvPacked2(xT []uint8, colSum []int32, packed []uint64, wCorr []int32, r, ckk, c int, cols []int32, hw int) {
-	pk := packed[r*c : (r+1)*c]
-	row0 := 2 * r
-	c0 := cols[row0*hw : (row0+1)*hw]
-	w0 := wCorr[row0]
-	var c1 []int32
-	var w1 int32
-	hasHi := row0+1 < ckk
-	if hasHi {
-		c1 = cols[(row0+1)*hw : (row0+2)*hw]
-		w1 = wCorr[row0+1]
-	}
-	for j := 0; j < hw; j++ {
-		xr := xT[j*c : (j+1)*c]
-		var a uint64
-		for p, xv := range xr {
-			a += pk[p] * uint64(xv)
+// dconvTriPixel accumulates one input pixel's biased channel row against nr
+// tri-lane weight rows starting at r0.
+func dconvTriPixel(xr []uint8, packed []uint64, r0, nr, c int, s *[12]int32) {
+	for r := 0; r < nr; r++ {
+		pk := packed[(r0+r)*c : (r0+r+1)*c]
+		var l0, l1, l2 int32
+		for base := 0; base < c; base += triChunk {
+			end := base + triChunk
+			if end > c {
+				end = c
+			}
+			pp := pk[base:end]
+			var a uint64
+			for p, xv := range xr[base:end] {
+				a += pp[p] * uint64(xv)
+			}
+			l0 += int32(a & triLaneMask)
+			l1 += int32((a >> 21) & triLaneMask)
+			l2 += int32(a >> 42)
 		}
-		cs := colSum[j]
-		c0[j] = int32(uint32(a)) - cs + w0
-		if hasHi {
-			c1[j] = int32(uint32(a>>32)) - cs + w1
-		}
+		s[3*r], s[3*r+1], s[3*r+2] = l0, l1, l2
 	}
 }
 
 // convTransposeInt8 computes an INT8 transpose convolution: cols = Wᵀ·x in
 // int32, then a col2im scatter, and a fused bias+ReLU+requantization
-// finalization. weight layout is [InC, OutC, K, K] as in the FP32 graph.
+// finalization (shift2 is the store-target fusion's second requantization,
+// 0 when unfused). weight layout is [InC, OutC, K, K] as in the FP32 graph.
 //
 // The caller provides cols32 (≥ OutC·K²·H·W int32) for the column matrix,
 // acc (≥ OutC·OH·OW int32) for the scatter accumulators, and — for the
 // packed fast path — xT (≥ C·H·W bytes) and colSum (≥ H·W int32) for the
 // biased HWC transpose of the input. With packed weights from
-// packDconvWeights the column GEMM runs eight rows per 64-bit multiply
-// stream exactly like convInt8; nil packed selects the tiled generic GEMM
-// (used when InC > maxPackedCKK). The scatter hoists the boundary clipping
-// out of the pixel loops. Both GEMMs produce identical int32 columns.
-func convTransposeInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorrT []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, oh, ow int, xT []uint8, colSum []int32, cols32 []int32, acc []int32) {
+// packDconvWeights the column GEMM runs up to twelve rows per biased-byte
+// stream in 21-bit tri lanes exactly like convInt8; nil packed selects the
+// tiled generic GEMM (used when InC > maxPackedCKK). The scatter hoists the
+// boundary clipping out of the pixel loops. Both GEMMs produce identical
+// int32 columns.
+func convTransposeInt8(src []int8, c, h, w int, weight []int8, packed []uint64, wCorrT []int32, bias []int32, outC, k, stride, pad int, shift, shift2 int, relu bool, dst []int8, oh, ow int, xT []uint8, colSum []int32, cols32 []int32, acc []int32) {
 	ckk := outC * k * k
 	hw := h * w
 	cols := cols32[:ckk*hw]
@@ -444,18 +1270,19 @@ func convTransposeInt8(src []int8, c, h, w int, weight []int8, packed []uint64, 
 		xT = xT[:hw*c]
 		colSum = colSum[:hw]
 		transposeBiased(src, c, hw, xT, colSum)
-		pairs := (ckk + 1) / 2
-		par.For((pairs+3)/4, func(b int) {
+		// Weight rows are padded to a multiple of four (ghost rows all-zero),
+		// so every block runs the fully-unrolled kernel; nrow bounds the
+		// column rows written back.
+		rows := (ckk + 2) / 3
+		par.For((rows+3)/4, func(b int) {
 			r0 := 4 * b
-			if 2*(r0+4) <= ckk {
-				dconvPacked8(xT, colSum, packed, wCorrT, r0, c, cols, hw)
-				return
+			nrow := ckk - 3*r0
+			if nrow > 12 {
+				nrow = 12
 			}
-			for r := r0; r < pairs; r++ {
-				dconvPacked2(xT, colSum, packed, wCorrT, r, ckk, c, cols, hw)
-			}
+			dconvTri4(xT, colSum, packed, wCorrT, r0, nrow, c, cols, hw)
 		})
-		scatterFinalize(cols, bias, outC, k, stride, pad, shift, relu, dst, h, w, oh, ow, acc)
+		scatterFinalize(cols, bias, outC, k, stride, pad, shift, shift2, relu, dst, h, w, oh, ow, acc)
 		return
 	}
 	blocks := (ckk + 3) / 4
@@ -529,13 +1356,13 @@ func convTransposeInt8(src []int8, c, h, w int, weight []int8, packed []uint64, 
 			}
 		}
 	})
-	scatterFinalize(cols, bias, outC, k, stride, pad, shift, relu, dst, h, w, oh, ow, acc)
+	scatterFinalize(cols, bias, outC, k, stride, pad, shift, shift2, relu, dst, h, w, oh, ow, acc)
 }
 
 // scatterFinalize distributes the transpose-convolution column matrix into
 // the (larger) output image and applies the fused bias+ReLU+requantization
 // write-back.
-func scatterFinalize(cols []int32, bias []int32, outC, k, stride, pad int, shift int, relu bool, dst []int8, h, w, oh, ow int, acc []int32) {
+func scatterFinalize(cols []int32, bias []int32, outC, k, stride, pad int, shift, shift2 int, relu bool, dst []int8, h, w, oh, ow int, acc []int32) {
 	hw := h * w
 	ohw := oh * ow
 	par.For(outC, func(oc int) {
@@ -575,12 +1402,16 @@ func scatterFinalize(cols []int32, bias []int32, outC, k, stride, pad int, shift
 				}
 			}
 		}
-		finalizeInt8(tile, bias[oc], relu, shift, dst[oc*ohw:(oc+1)*ohw])
+		finalizeInt8(tile, bias[oc], relu, shift, shift2, dst[oc*ohw:(oc+1)*ohw])
 	})
 }
 
-// maxPoolInt8 is 2×2/stride-2 max pooling on an int8 CHW image.
-func maxPoolInt8(src []int8, c, h, w int, dst []int8) {
+// maxPoolInt8 is 2×2/stride-2 max pooling on an int8 CHW image with a fused
+// requantization: shift moves the pooled value to the output fix position
+// in the same write-back pass (0 keeps the input scale). Folding the shift
+// is bit-identical to pooling then requantizing the whole plane — the same
+// RoundShift is applied to the same maxima, one memory pass earlier.
+func maxPoolInt8(src []int8, c, h, w, shift int, dst []int8) {
 	oh, ow := h/2, w/2
 	par.For(c, func(ci int) {
 		plane := src[ci*h*w : (ci+1)*h*w]
@@ -597,6 +1428,9 @@ func maxPoolInt8(src []int8, c, h, w int, dst []int8) {
 				}
 				if v := plane[(iy+1)*w+ix+1]; v > best {
 					best = v
+				}
+				if shift != 0 {
+					best = RoundShift(int64(best), shift)
 				}
 				out[oy*ow+ox] = best
 			}

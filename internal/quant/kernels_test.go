@@ -56,13 +56,11 @@ func TestConvInt8MatchesReference(t *testing.T) {
 	for _, relu := range []bool{false, true} {
 		for _, shift := range []int{0, 3, 7} {
 			want := refConvInt8(src, c, h, w, weight, bias, outC, k, stride, pad, shift, relu, oh, ow)
-			cols := make([]uint8, c*k*k*oh*ow)
-			rowSum := make([]int32, oh*ow)
-			// Packed dual-lane kernel and the generic fallback must both
+			// Packed tri-lane kernel and the generic fallback must both
 			// reproduce the reference bit for bit.
 			for _, pk := range [][]uint64{packed, nil} {
 				got := make([]int8, outC*oh*ow)
-				convInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, shift, relu, got, oh, ow, cols, rowSum)
+				convInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, shift, 0, relu, got, oh, ow, new(convScratch))
 				for i := range want {
 					if got[i] != want[i] {
 						t.Fatalf("relu=%v shift=%d packed=%v: pixel %d: %d vs %d", relu, shift, pk != nil, i, got[i], want[i])
@@ -95,8 +93,7 @@ func TestConvInt8OddChannels(t *testing.T) {
 		want := refConvInt8(src, c, h, w, weight, bias, outC, k, stride, pad, 5, true, oh, ow)
 		packed, wCorr := packConvWeights(weight, outC, c*k*k)
 		got := make([]int8, outC*oh*ow)
-		convInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 5, true, got, oh, ow,
-			make([]uint8, c*k*k*oh*ow), make([]int32, oh*ow))
+		convInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 5, 0, true, got, oh, ow, new(convScratch))
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("outC=%d: pixel %d: %d vs %d", outC, i, got[i], want[i])
@@ -121,7 +118,7 @@ func TestConvTransposeInt8IsAdjointShape(t *testing.T) {
 	bias := make([]int32, outC)
 	dst := make([]int8, outC*oh*ow)
 	packed, wCorr := packDconvWeights(weight, c, outC*k*k)
-	convTransposeInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 4, false, dst, oh, ow,
+	convTransposeInt8(src, c, h, w, weight, packed, wCorr, bias, outC, k, stride, pad, 4, 0, false, dst, oh, ow,
 		make([]uint8, c*h*w), make([]int32, h*w), make([]int32, outC*k*k*h*w), make([]int32, roundUp4(outC)*oh*ow))
 	var nonzero int
 	for _, v := range dst {
@@ -174,7 +171,7 @@ func TestConvTransposeInt8MatchesFloat(t *testing.T) {
 	// exact reference.
 	for _, pk := range [][]uint64{packed, nil} {
 		dst := make([]int8, outC*oh*ow)
-		convTransposeInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, 0, false, dst, oh, ow,
+		convTransposeInt8(src, c, h, w, weight, pk, wCorr, bias, outC, k, stride, pad, 0, 0, false, dst, oh, ow,
 			make([]uint8, c*h*w), make([]int32, h*w), make([]int32, outC*k*k*h*w), make([]int32, roundUp4(outC)*oh*ow))
 		checkTransposeAgainstRef(t, dst, ref, bias, outC, oh, ow, pk != nil)
 	}
@@ -204,11 +201,18 @@ func TestMaxPoolInt8(t *testing.T) {
 		-5, -6, -7, -8,
 	}
 	dst := make([]int8, 4)
-	maxPoolInt8(src, 1, 4, 4, dst)
+	maxPoolInt8(src, 1, 4, 4, 0, dst)
 	want := []int8{6, 8, -1, -3}
 	for i := range want {
 		if dst[i] != want[i] {
 			t.Fatalf("pool[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	// Fused requantization: shift 1 halves (round half away) in the same pass.
+	maxPoolInt8(src, 1, 4, 4, 1, dst)
+	for i, w := range []int8{3, 4, -1, -2} {
+		if dst[i] != w {
+			t.Fatalf("pool-shift[%d] = %d, want %d", i, dst[i], w)
 		}
 	}
 }
@@ -256,24 +260,25 @@ func TestArgmaxChannelsInt8(t *testing.T) {
 
 func TestIm2ColInt8ZeroPadding(t *testing.T) {
 	src := []int8{1, 2, 3, 4} // 1×2×2
-	// Transposed biased layout: one row of C·K² taps per output pixel,
+	// Tap-major biased layout: one row of npix pixels per C·K² tap,
 	// each stored as tap+128 (padding = 128).
-	dst := make([]uint8, 4*9)
-	rowSum := make([]int32, 4)
+	const npix = 4
+	dst := make([]uint8, 9*npix)
+	rowSum := make([]int32, npix)
 	im2colInt8(src, 1, 2, 2, 3, 1, 1, dst, rowSum, 2, 2)
-	// Each pixel's center tap (index 4 within its row) is the pixel itself.
+	// Each pixel's center tap (tap index 4) is the pixel itself.
 	for j, want := range []uint8{129, 130, 131, 132} {
-		if dst[j*9+4] != want {
-			t.Fatalf("pixel %d center tap = %d, want %d (row %v)", j, dst[j*9+4], want, dst[j*9:(j+1)*9])
+		if dst[4*npix+j] != want {
+			t.Fatalf("pixel %d center tap = %d, want %d (tap row %v)", j, dst[4*npix+j], want, dst[4*npix:5*npix])
 		}
 	}
-	// Pixel 0's row: taps outside the 2×2 image are the biased zero 128,
-	// the in-bounds 2×2 window lands at indices 4,5,7,8.
-	wantRow := []uint8{128, 128, 128, 128, 129, 130, 128, 131, 132}
+	// Pixel 0's tap column (stride npix): taps outside the 2×2 image are
+	// the biased zero 128, the in-bounds 2×2 window lands at taps 4,5,7,8.
+	wantCol := []uint8{128, 128, 128, 128, 129, 130, 128, 131, 132}
 	sum := int32(0)
-	for i, want := range wantRow {
-		if dst[i] != want {
-			t.Fatalf("pixel 0 row = %v, want %v", dst[:9], wantRow)
+	for p, want := range wantCol {
+		if dst[p*npix] != want {
+			t.Fatalf("pixel 0 tap %d = %d, want col %v", p, dst[p*npix], wantCol)
 		}
 		sum += int32(want)
 	}

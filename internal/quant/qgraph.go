@@ -35,6 +35,18 @@ type QNode struct {
 	// OutShape is the single-image CHW output geometry.
 	OutShape [3]int
 
+	// Store-target fusion (concat elision). When StoreTarget is non-empty,
+	// this node's write-back lands directly in the named concat consumer's
+	// buffer at channel offset StoreOffset, with StoreShift applied as a
+	// second round-shift after the node's own requantization (two-step
+	// rounding, preserving bit-identity with the unfused copy). The
+	// annotations exist only on compiled graphs: xmodel.Compile derives them
+	// deterministically and xmodel.Read recompiles, so they are never
+	// serialized.
+	StoreTarget string
+	StoreOffset int
+	StoreShift  int
+
 	// packOnce guards the lazy biased-weight packing used by the fast INT8
 	// convolution kernel (packConvWeights). Weight is immutable once the
 	// graph is quantized (FFQ bias correction touches Bias only), so the
@@ -68,10 +80,14 @@ func (n *QNode) Clone() *QNode {
 		OutFP:     n.OutFP,
 		FusedReLU: n.FusedReLU,
 		OutShape:  n.OutShape,
+
+		StoreTarget: n.StoreTarget,
+		StoreOffset: n.StoreOffset,
+		StoreShift:  n.StoreShift,
 	}
 }
 
-// convPacked returns the dual-lane packed weight matrix and per-channel
+// convPacked returns the tri-lane packed weight matrix and per-channel
 // zero-point corrections for a convolution node, packing them on first use.
 // It returns nil slices when C·K² exceeds maxPackedCKK (per-lane sums could
 // carry into the neighbouring lane); callers then use the generic kernel.
@@ -85,7 +101,7 @@ func (n *QNode) convPacked() ([]uint64, []int32) {
 	return n.packedW, n.wCorr
 }
 
-// dconvPacked is convPacked's transpose-convolution counterpart: pairs of
+// dconvPacked is convPacked's transpose-convolution counterpart: triples of
 // column rows (OutC·K² of them) packed over the InC reduction axis. A node
 // is either Conv or ConvTranspose, so the two packings share the guard and
 // cache fields without conflict.

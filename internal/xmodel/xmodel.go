@@ -75,13 +75,18 @@ type Program struct {
 }
 
 // Compile optimizes and lowers a quantized graph. The input QGraph is not
-// modified: fusion operates on a copy.
+// modified: fusion operates on a copy. Two fusion passes run: activation
+// fusion (ReLU into the producing convolution's write-back) and store-target
+// fusion (single-consumer convolutions feeding a concat write directly into
+// the concat buffer, eliding the copy). Both are deterministic functions of
+// the graph, so recompiling a deserialized xmodel reproduces them exactly.
 func Compile(q *quant.QGraph, name string) (*Program, error) {
 	defer obs.Time("compile")()
 	fused, err := fuseActivations(q)
 	if err != nil {
 		return nil, err
 	}
+	fuseStoreTargets(fused)
 	prog := &Program{Name: name, Graph: fused}
 	for _, n := range fused.Nodes {
 		switch n.Kind {
@@ -100,7 +105,21 @@ func Compile(q *quant.QGraph, name string) (*Program, error) {
 				Kernel: 2, Stride: 2,
 			})
 		case graph.KindConcat:
-			bytes := padC(n.OutShape[0]) * int64(n.OutShape[1]) * int64(n.OutShape[2])
+			// Store-target fusion: inputs whose producer writes directly into
+			// the concat buffer cost this instruction nothing; only the copied
+			// sides move bytes. A fully-fused concat lowers to no instruction
+			// at all — the scheduler sees fewer, fatter ops.
+			var bytes int64
+			for _, inName := range n.Inputs {
+				p := fused.Node(inName)
+				if p == nil || p.StoreTarget == n.Name {
+					continue
+				}
+				bytes += padC(p.OutShape[0]) * int64(n.OutShape[1]) * int64(n.OutShape[2])
+			}
+			if bytes == 0 {
+				continue
+			}
 			prog.Instructions = append(prog.Instructions, Instruction{
 				Op: OpConcat, Node: n.Name,
 				InBytes: bytes, OutBytes: bytes,
@@ -215,6 +234,46 @@ func fuseActivations(q *quant.QGraph) (*quant.QGraph, error) {
 	out.OutputName = mapped
 	out.RebuildIndex()
 	return out, nil
+}
+
+// fuseStoreTargets annotates every convolution or transpose convolution
+// whose sole consumer is a concat so that its write-back lands directly in
+// the concat's buffer (see quant.QNode store-target fields): the executor
+// aliases the producer's activation to the right channel slice and the
+// concat copy for that side disappears. The producer's own requantization
+// and the concat's are applied as two separate round-shifts inside the
+// write-back, so the fused path is bit-identical to the copy it elides.
+//
+// The pass mutates the compiled graph in place and is a deterministic
+// function of graph structure alone — deserialized xmodels are recompiled,
+// so the annotations never need to be (and are not) serialized.
+func fuseStoreTargets(q *quant.QGraph) {
+	consumers := make(map[string]int, len(q.Nodes))
+	for _, n := range q.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in]++
+		}
+	}
+	for _, n := range q.Nodes {
+		if n.Kind != graph.KindConcat {
+			continue
+		}
+		offset := 0
+		for _, inName := range n.Inputs {
+			p := q.Node(inName)
+			if p == nil {
+				return // malformed graph; leave lowering to report it
+			}
+			fusable := (p.Kind == graph.KindConv || p.Kind == graph.KindConvTranspose) &&
+				consumers[inName] == 1 && inName != q.OutputName && p.StoreTarget == ""
+			if fusable {
+				p.StoreTarget = n.Name
+				p.StoreOffset = offset
+				p.StoreShift = quant.RequantShift(p.OutFP, n.OutFP)
+			}
+			offset += p.OutShape[0]
+		}
+	}
 }
 
 // Run executes the program functionally on one FP32 CHW image, returning

@@ -92,6 +92,61 @@ func TestCompiledProgramMatchesQuantizedGraph(t *testing.T) {
 	}
 }
 
+// TestStoreTargetFusionBitIdentical locks the store-target (concat elision)
+// pass to its contract: the fused graph — convolutions writing straight into
+// the consuming concat's buffer with two-step rounding — must be bit-for-bit
+// identical to the unfused graph that materializes each side and copies it,
+// on both the dequantized outputs and the argmax masks.
+func TestStoreTargetFusionBitIdentical(t *testing.T) {
+	_, q, calib := compiledTestProgram(t)
+	unfused, err := fuseActivations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := fuseActivations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuseStoreTargets(fused)
+	var annotated int
+	for _, n := range fused.Nodes {
+		if n.StoreTarget != "" {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Fatal("store-target fusion annotated no producers; the comparison is vacuous")
+	}
+	for fi, img := range calib {
+		wantOut, err := unfused.Execute(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOut, err := fused.Execute(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantOut.Data {
+			if gotOut.Data[i] != wantOut.Data[i] {
+				t.Fatalf("frame %d: fused output diverges at %d: %v vs %v", fi, i, gotOut.Data[i], wantOut.Data[i])
+			}
+		}
+		wantMask, err := unfused.ExecuteLabels(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMask, err := fused.ExecuteLabels(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantMask {
+			if gotMask[i] != wantMask[i] {
+				t.Fatalf("frame %d: fused mask diverges at pixel %d: %d vs %d", fi, i, gotMask[i], wantMask[i])
+			}
+		}
+	}
+}
+
 func TestInstructionStreamStructure(t *testing.T) {
 	prog, _, _ := compiledTestProgram(t)
 	if len(prog.Instructions) == 0 {
