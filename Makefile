@@ -4,15 +4,15 @@ GO ?= go
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|GPUSimInference|DPUSimInference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR8.json
-BENCH_BASELINE   = BENCH_PR7.json
+BENCH_SNAPSHOT   = BENCH_PR9.json
+BENCH_BASELINE   = BENCH_PR8.json
 # Gating tolerance for bench-compare, in percent ns/op growth. Repeated runs
 # on one machine scatter by ±10-15% and hosted CI runners more, so the gate
 # only trips on regressions far outside the noise floor; alloc counts are
 # deterministic and gate tightly inside seneca-benchjson.
 BENCH_GATE_PCT   = 50
 
-.PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz chaos
+.PHONY: ci build vet test race fmt-check bench bench-compare bench-all fuzz chaos mpq-smoke
 
 # ci is the gate GitHub Actions runs: formatting, build, vet, race tests.
 ci: fmt-check build vet race
@@ -45,6 +45,13 @@ bench-compare:
 # bench-all additionally runs the heavy table/figure reproduction benches.
 bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# mpq-smoke runs the seeded mixed-precision search end to end (train →
+# sensitivity → greedy → frontier) at tiny geometry; it finishes well under
+# a minute and fails unless the frontier is well-formed (>= 4 variants with
+# both anchors). CI runs this as a blocking step.
+mpq-smoke:
+	$(GO) run ./cmd/seneca-mpq -smoke
 
 # chaos runs the fault-injection resilience tests under the race detector:
 # runners killed and stalled mid-load — and, at the fleet tier, whole nodes

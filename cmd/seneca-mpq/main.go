@@ -1,0 +1,136 @@
+// Command seneca-mpq runs the mixed-precision quantization search: it
+// trains (or loads) an FP32 model, probes per-layer INT4/FP32 sensitivity,
+// greedily composes per-layer bitwidths — optionally on a filter-pruned
+// topology — under a global-Dice floor, and reports the resulting
+// accuracy-versus-FPS/W Pareto frontier as a table and as JSON.
+//
+// Usage:
+//
+//	seneca-mpq -patients 10 -size 64 -epochs 8 -out frontier.json
+//	seneca-mpq -smoke            # seeded CI smoke run, well under a minute
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"seneca/internal/core"
+	"seneca/internal/ctorg"
+	"seneca/internal/mpq"
+	"seneca/internal/phantom"
+	"seneca/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seneca-mpq: ")
+
+	checkpoint := flag.String("checkpoint", "", "trained FP32 checkpoint (empty: train in memory)")
+	patients := flag.Int("patients", 10, "synthetic patients to generate")
+	volSize := flag.Int("vol-size", 96, "synthetic volume size")
+	slices := flag.Int("slices", 16, "slices per synthetic volume")
+	size := flag.Int("size", 64, "network input size")
+	epochs := flag.Int("epochs", 8, "training epochs when no checkpoint is given")
+	batch := flag.Int("batch", 8, "training batch size")
+	seed := flag.Int64("seed", 1, "seed for data generation and training")
+	calibSize := flag.Int("calib-size", 32, "calibration images drawn from the training split")
+	floor := flag.Float64("floor", 1.0, "tolerated global Dice drop vs uniform INT8, in points")
+	pruneFrac := flag.Float64("prune", 0.25, "filter-pruning fraction for composed variants (0 disables)")
+	out := flag.String("out", "", "frontier JSON output path (empty: stdout table only)")
+	smoke := flag.Bool("smoke", false, "seeded tiny run for CI: fixed geometry, fails unless the frontier is well-formed")
+	flag.Parse()
+
+	if *smoke {
+		*checkpoint = ""
+		*patients, *volSize, *slices, *size = 6, 48, 10, 32
+		*epochs, *batch, *seed, *calibSize = 4, 6, 3, 16
+	}
+
+	start := time.Now()
+	vols := phantom.GenerateDataset(*patients, phantom.Options{
+		Size: *volSize, Slices: *slices, Seed: *seed, NoiseSigma: 10})
+	ds := ctorg.Build(vols, *size)
+	train, val, _ := ds.Split(0.7, 0.3, *seed+6)
+
+	var m *unet.Model
+	var err error
+	if *checkpoint != "" {
+		if m, err = unet.LoadFile(*checkpoint); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := core.DefaultTrainConfig()
+		cfg.Epochs = *epochs
+		cfg.BatchSize = *batch
+		model := unet.Config{Name: "mpq", Depth: 2, BaseFilters: 8, InChannels: 1,
+			NumClasses: ctorg.NumClasses, DropoutRate: 0.05, Seed: *seed + 1}
+		log.Printf("training %s for %d epochs on %d slices", model.Name, cfg.Epochs, train.Len())
+		if m, _, err = core.Train(model, train, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var calibIdx []int
+	for i := 0; i < train.Len() && i < *calibSize; i++ {
+		calibIdx = append(calibIdx, i)
+	}
+	g := m.Export(*size, *size)
+	calib := train.Images(calibIdx)
+
+	log.Printf("searching (floor %.1f pt, prune %.0f%%, %d val slices)",
+		*floor, 100**pruneFrac, val.Len())
+	f, err := mpq.Search(g, calib, val, mpq.Options{
+		DiceFloorDrop: *floor,
+		PruneFraction: *pruneFrac,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline (int8-uniform) global Dice %.2f%%, floor %.1f pt, %d evaluations in %s\n\n",
+		f.BaselineDice, f.DiceFloorDrop, f.Evaluations, time.Since(start).Round(time.Second))
+	fmt.Printf("%-18s %7s %6s %8s %6s %7s %5s %5s %6s  %s\n",
+		"variant", "dice%", "drop", "FPS", "W", "FPS/W", "int4", "fp32", "pruned", "frontier")
+	for _, v := range f.Variants {
+		mark := ""
+		if v.OnFrontier {
+			mark = "*"
+		}
+		fmt.Printf("%-18s %7.2f %6.2f %8.1f %6.2f %7.3f %5d %5d %6v  %s\n",
+			v.Name, v.GlobalDice, v.DiceDrop, v.FPS, v.Watts, v.FPSPerWatt,
+			v.Int4Layers, v.FP32Layers, v.Pruned, mark)
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfrontier written to %s\n", *out)
+	}
+
+	if *smoke {
+		if len(f.Variants) < 4 {
+			log.Fatalf("smoke: frontier has %d variants, want >= 4", len(f.Variants))
+		}
+		for _, name := range []string{"fp32-ref", "int8-uniform"} {
+			found := false
+			for _, v := range f.Variants {
+				if v.Name == name {
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("smoke: anchor variant %q missing", name)
+			}
+		}
+		fmt.Println("\nsmoke OK")
+	}
+}

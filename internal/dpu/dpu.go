@@ -147,6 +147,11 @@ type InstrTiming struct {
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
 
+// fp32CyclePenalty is the compute-cycle multiplier for FP32-fallback layers:
+// they bypass the INT8 MAC array and run on the scalar/host datapath, which
+// sustains roughly an eighth of the array's throughput on these shapes.
+const fp32CyclePenalty = 8
+
 // misaligned reports whether a convolution's channel counts break the
 // 8-channel vector granularity (a 1-channel input image is handled by a
 // dedicated first-layer path and does not count).
@@ -178,6 +183,17 @@ func (d *Device) TimeInstruction(in xmodel.Instruction) InstrTiming {
 			ceilDiv(int64(in.OutC), int64(cfg.OutChPar)) * kk
 		if misaligned(in.InC, in.OutC) {
 			t.ComputeCycles = int64(float64(t.ComputeCycles) * cfg.MisalignPenalty)
+		}
+		// Precision scaling (mixed-precision programs, internal/mpq): INT4
+		// layers pack two MACs per DSP slot, doubling the array's effective
+		// rate; FP32-fallback layers leave the INT8 array for the scalar
+		// datapath at a heavy penalty. Byte counts are already scaled at
+		// lowering.
+		switch in.Bits {
+		case quant.Bits4:
+			t.ComputeCycles = ceilDiv(t.ComputeCycles, 2)
+		case quant.BitsFP32:
+			t.ComputeCycles *= fp32CyclePenalty
 		}
 		t.MemCycles = int64(float64(in.InBytes+in.OutBytes)/cfg.FMBytesPerCycle +
 			float64(in.WeightBytes)/cfg.WeightBytesPerCycle)

@@ -251,3 +251,45 @@ func TestTableIVThroughputShape(t *testing.T) {
 		t.Errorf("Table IV FPS ordering violated: %v", got)
 	}
 }
+
+// TestPrecisionTimingScaling pins the mixed-precision cycle model: relative
+// to the same instruction at INT8, an INT4 layer must be faster (double MAC
+// rate, halved traffic) and an FP32-fallback layer much slower (scalar
+// path).
+func TestPrecisionTimingScaling(t *testing.T) {
+	d := New(ZCU104B4096())
+	base := xmodel.Instruction{
+		Op: xmodel.OpConv, Node: "c",
+		MACs: 64 * 64 * 16 * 16 * 9, WeightBytes: 16 * 16 * 9, InBytes: 16 * 64 * 64, OutBytes: 16 * 64 * 64,
+		InC: 16, OutC: 16, OutH: 64, OutW: 64, Kernel: 3, Stride: 1,
+	}
+	i8 := base
+	i8.Bits = quant.Bits8
+	i4 := base
+	i4.Bits = quant.Bits4
+	i4.WeightBytes = (base.WeightBytes + 1) / 2
+	i4.OutBytes = (base.OutBytes + 1) / 2
+	f32 := base
+	f32.Bits = quant.BitsFP32
+	f32.WeightBytes = 4 * base.WeightBytes
+
+	t8, t4, tf := d.TimeInstruction(i8), d.TimeInstruction(i4), d.TimeInstruction(f32)
+	if t4.ComputeCycles != (t8.ComputeCycles+1)/2 {
+		t.Errorf("INT4 compute cycles %d, want half of %d", t4.ComputeCycles, t8.ComputeCycles)
+	}
+	if t4.Cycles >= t8.Cycles {
+		t.Errorf("INT4 total cycles %d not below INT8's %d", t4.Cycles, t8.Cycles)
+	}
+	if tf.ComputeCycles != 8*t8.ComputeCycles {
+		t.Errorf("FP32 compute cycles %d, want 8× %d", tf.ComputeCycles, t8.ComputeCycles)
+	}
+	if tf.Cycles <= t8.Cycles {
+		t.Errorf("FP32 total cycles %d not above INT8's %d", tf.Cycles, t8.Cycles)
+	}
+	// The zero value (unset bits) must behave exactly like INT8 so every
+	// pre-existing caller is untouched.
+	unset := base
+	if got := d.TimeInstruction(unset); got != t8 {
+		t.Errorf("unset bits timing %+v differs from INT8 %+v", got, t8)
+	}
+}

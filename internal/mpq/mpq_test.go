@@ -1,0 +1,245 @@
+package mpq
+
+import (
+	"encoding/json"
+	"testing"
+
+	"seneca/internal/core"
+	"seneca/internal/ctorg"
+	"seneca/internal/graph"
+	"seneca/internal/obs"
+	"seneca/internal/par"
+	"seneca/internal/phantom"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+)
+
+// trainedSetup builds the shared search inputs once: a briefly trained tiny
+// U-Net (so quantization actually costs Dice), its calibration images and a
+// small validation set.
+var (
+	cachedGraph *graph.Graph
+	cachedCalib []*tensor.Tensor
+	cachedVal   *ctorg.Dataset
+)
+
+func trainedSetup(t *testing.T) (*graph.Graph, []*tensor.Tensor, *ctorg.Dataset) {
+	t.Helper()
+	if cachedGraph != nil {
+		return cachedGraph, cachedCalib, cachedVal
+	}
+	vols := phantom.GenerateDataset(6, phantom.Options{Size: 48, Slices: 10, Seed: 3, NoiseSigma: 10})
+	ds := ctorg.Build(vols, 32)
+	train, val, _ := ds.Split(0.7, 0.3, 9)
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = 4
+	cfg.BatchSize = 6
+	model := unet.Config{Name: "mpq-tiny", Depth: 2, BaseFilters: 8, InChannels: 1, NumClasses: 6, DropoutRate: 0.05, Seed: 4}
+	m, _, err := core.Train(model, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calibIdx []int
+	for i := 0; i < train.Len() && i < 16; i++ {
+		calibIdx = append(calibIdx, i)
+	}
+	cachedGraph = m.Export(32, 32)
+	cachedCalib = train.Images(calibIdx)
+	cachedVal = val
+	return cachedGraph, cachedCalib, cachedVal
+}
+
+var cachedFrontier *Frontier
+
+func searchedFrontier(t *testing.T) *Frontier {
+	t.Helper()
+	if cachedFrontier != nil {
+		return cachedFrontier
+	}
+	g, calib, val := trainedSetup(t)
+	f, err := Search(g, calib, val, Options{PruneFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedFrontier = f
+	return f
+}
+
+func variantByName(f *Frontier, name string) *Variant {
+	for _, v := range f.Variants {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// TestSearchFrontierAcceptance is the PR's acceptance criterion: the search
+// must emit at least four variants, and at least one mixed-precision
+// variant must strictly dominate uniform INT8 on modeled FPS/W while
+// holding the global Dice drop within one point.
+func TestSearchFrontierAcceptance(t *testing.T) {
+	f := searchedFrontier(t)
+	if len(f.Variants) < 4 {
+		t.Fatalf("frontier has %d variants, want >= 4", len(f.Variants))
+	}
+	int8v := variantByName(f, "int8-uniform")
+	if int8v == nil {
+		t.Fatal("int8-uniform anchor missing")
+	}
+	if variantByName(f, "fp32-ref") == nil {
+		t.Fatal("fp32-ref anchor missing")
+	}
+	var dominator *Variant
+	for _, v := range f.Variants {
+		if v.Int4Layers == 0 {
+			continue
+		}
+		if v.DiceDrop <= f.DiceFloorDrop && v.FPSPerWatt > int8v.FPSPerWatt {
+			dominator = v
+			break
+		}
+	}
+	if dominator == nil {
+		for _, v := range f.Variants {
+			t.Logf("variant %-18s dice=%.2f drop=%.2f fps=%.1f fps/w=%.3f int4=%d",
+				v.Name, v.GlobalDice, v.DiceDrop, v.FPS, v.FPSPerWatt, v.Int4Layers)
+		}
+		t.Fatal("no mixed-precision variant dominates uniform INT8 on FPS/W within the Dice floor")
+	}
+	if !dominator.OnFrontier {
+		// A dominating variant can only be off the frontier if something
+		// even better exists — which must then also be mixed.
+		found := false
+		for _, v := range f.Variants {
+			if v.OnFrontier && v.FPSPerWatt >= dominator.FPSPerWatt {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dominating variant %q not on the frontier and nothing better is", dominator.Name)
+		}
+	}
+	var frontierCount int
+	for _, v := range f.Variants {
+		if v.OnFrontier {
+			frontierCount++
+		}
+	}
+	if frontierCount == 0 {
+		t.Fatal("no variant marked Pareto-optimal")
+	}
+}
+
+// TestSearchVariantsWellFormed sanity-checks every emitted variant: a
+// compiled program that produces valid masks, positive modeled throughput,
+// and per-organ Dice in range.
+func TestSearchVariantsWellFormed(t *testing.T) {
+	f := searchedFrontier(t)
+	_, _, val := trainedSetup(t)
+	img := tensor.New(1, val.Size, val.Size)
+	copy(img.Data, val.Slices[0].Image)
+	for _, v := range f.Variants {
+		if v.Program == nil {
+			t.Fatalf("variant %q has no program", v.Name)
+		}
+		if v.FPS <= 0 || v.Watts <= 0 || v.FPSPerWatt <= 0 {
+			t.Errorf("variant %q has non-positive performance: %+v", v.Name, v)
+		}
+		if v.GlobalDice < 0 || v.GlobalDice > 100 {
+			t.Errorf("variant %q global Dice %v out of range", v.Name, v.GlobalDice)
+		}
+		mask, err := v.Program.Run(img)
+		if err != nil {
+			t.Fatalf("variant %q: %v", v.Name, err)
+		}
+		if len(mask) != val.Size*val.Size {
+			t.Fatalf("variant %q mask has %d pixels", v.Name, len(mask))
+		}
+		for _, c := range mask {
+			if c >= ctorg.NumClasses {
+				t.Fatalf("variant %q emits class %d", v.Name, c)
+			}
+		}
+	}
+}
+
+// TestRegistryFromFrontier checks the serving registry view: registration
+// order, lookup, and the nil contract for unknown names.
+func TestRegistryFromFrontier(t *testing.T) {
+	f := searchedFrontier(t)
+	reg, err := f.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.VariantNames()
+	if len(names) != len(f.Variants) {
+		t.Fatalf("registry has %d names, frontier %d variants", len(names), len(f.Variants))
+	}
+	for i, v := range f.Variants {
+		if names[i] != v.Name {
+			t.Fatalf("registry order diverged at %d: %q vs %q", i, names[i], v.Name)
+		}
+		if reg.Program(v.Name) != v.Program {
+			t.Fatalf("registry program mismatch for %q", v.Name)
+		}
+		if reg.Variant(v.Name) != v {
+			t.Fatalf("registry variant mismatch for %q", v.Name)
+		}
+	}
+	if reg.Program("no-such-variant") != nil || reg.Variant("no-such-variant") != nil {
+		t.Fatal("unknown variant did not return nil")
+	}
+	if err := NewRegistry().Register(&Variant{Name: "x"}); err == nil {
+		t.Fatal("variant without program accepted")
+	}
+	if err := NewRegistry().Register(&Variant{}); err == nil {
+		t.Fatal("nameless variant accepted")
+	}
+}
+
+// TestAnalyzeDeterministic pins the satellite requirement: the sensitivity
+// table must be bit-identical across runs and across worker-pool sizes.
+func TestAnalyzeDeterministic(t *testing.T) {
+	g, calib, val := trainedSetup(t)
+	run := func() []byte {
+		tab, err := Analyze(g, calib, val, Options{CandidateBits: []int{quant.Bits4, quant.BitsFP32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	base := run()
+	for _, workers := range []int{1, 3} {
+		prev := par.SetMaxWorkers(workers)
+		got := run()
+		par.SetMaxWorkers(prev)
+		if string(got) != string(base) {
+			t.Fatalf("sensitivity table changed with %d workers", workers)
+		}
+	}
+}
+
+// TestSearchCountsEvaluations checks the observability contract: the
+// search's evaluation counter lands on the provided registry and matches
+// the frontier's own accounting.
+func TestSearchCountsEvaluations(t *testing.T) {
+	g, calib, val := trainedSetup(t)
+	reg := obs.NewRegistry()
+	f, err := Search(g, calib, val, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counter("seneca_mpq_search_evaluations_total", "")
+	if c.Value() == 0 {
+		t.Fatal("evaluation counter never incremented")
+	}
+	if int(c.Value()) != f.Evaluations {
+		t.Fatalf("counter %d != frontier evaluations %d", c.Value(), f.Evaluations)
+	}
+}

@@ -54,6 +54,23 @@ func NewExecutor(q *QGraph) (*Executor, error) {
 			}
 			return a, nil
 		}
+		if !ValidBits(n.Bits) {
+			return nil, fmt.Errorf("quant: node %q: unsupported bitwidth %d", n.Name, n.Bits)
+		}
+		if n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose {
+			// Mixed-precision nodes carry their parameters in different
+			// fields; reject length mismatches here so a malformed graph
+			// (e.g. hostile xmodel bytes) errors instead of panicking in a
+			// kernel.
+			want := n.InC * n.OutC * n.Kernel * n.Kernel
+			if effBits(n) == BitsFP32 {
+				if len(n.WeightF) != want {
+					return nil, fmt.Errorf("quant: node %q: FP32 weights %d, want %d", n.Name, len(n.WeightF), want)
+				}
+			} else if len(n.Weight) != want {
+				return nil, fmt.Errorf("quant: node %q: weights %d, want %d", n.Name, len(n.Weight), want)
+			}
+		}
 		switch n.Kind {
 		case graph.KindInput:
 			out = &activation{data: make([]int8, q.InC*q.InH*q.InW), c: q.InC, h: q.InH, w: q.InW}
@@ -184,15 +201,31 @@ func (e *Executor) run(img *tensor.Tensor, tap func(*QNode, *activation)) error 
 			out.fp = q.InputFP
 		case graph.KindConv:
 			in := e.acts[n.Inputs[0]]
-			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
-			packed, wCorr := n.convPacked()
-			convInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, &e.sc)
+			switch effBits(n) {
+			case Bits8:
+				shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+				packed, wCorr := n.convPacked()
+				convInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, &e.sc)
+			case Bits4:
+				shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+				convIntRef(in.data, in.c, in.h, in.w, n.Weight, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, Bits4, out.data, out.h, out.w)
+			case BitsFP32:
+				convFP32Ref(in.data, in.fp, in.c, in.h, in.w, n.WeightF, n.BiasF, n.OutC, n.Kernel, n.Stride, n.Pad, n.FusedReLU, n.OutFP, out.data, out.h, out.w)
+			}
 			out.fp = n.OutFP
 		case graph.KindConvTranspose:
 			in := e.acts[n.Inputs[0]]
-			shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
-			packed, wCorr := n.dconvPacked()
-			convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum, e.cols32, e.acc)
+			switch effBits(n) {
+			case Bits8:
+				shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+				packed, wCorr := n.dconvPacked()
+				convTransposeInt8(in.data, in.c, in.h, in.w, n.Weight, packed, wCorr, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.StoreShift, n.FusedReLU, out.data, out.h, out.w, e.cols, e.rowSum, e.cols32, e.acc)
+			case Bits4:
+				shift := RequantShift(in.fp+n.WeightFP, n.OutFP)
+				convTransposeIntRef(in.data, in.c, in.h, in.w, n.Weight, n.Bias, n.OutC, n.Kernel, n.Stride, n.Pad, shift, n.FusedReLU, Bits4, out.data, out.h, out.w)
+			case BitsFP32:
+				convTransposeFP32Ref(in.data, in.fp, in.c, in.h, in.w, n.WeightF, n.BiasF, n.OutC, n.Kernel, n.Stride, n.Pad, n.FusedReLU, n.OutFP, out.data, out.h, out.w)
+			}
 			out.fp = n.OutFP
 		case graph.KindMaxPool:
 			in := e.acts[n.Inputs[0]]

@@ -31,6 +31,27 @@ type ptqGolden struct {
 	// Mask is the INT8 argmax segmentation of the fixed probe image, one
 	// row per string, classes as digits.
 	Mask []string `json:"mask"`
+	// Int4Layer is the convolution flipped to INT4 for the mixed-precision
+	// round-trip entry; the fields below pin its 4-bit weight rounding,
+	// narrow output grid and the resulting segmentation.
+	Int4Layer     string   `json:"int4_layer"`
+	Int4WeightFP  int      `json:"int4_weight_fp"`
+	Int4WeightSum int      `json:"int4_weight_sum"`
+	Int4OutFP     int      `json:"int4_out_fp"`
+	Int4Mask      []string `json:"int4_mask"`
+}
+
+// maskRows renders a 16×16 label map as digit strings, one per row.
+func maskRows(labels []uint8) []string {
+	rows := make([]string, 0, 16)
+	for y := 0; y < 16; y++ {
+		row := make([]byte, 16)
+		for x := 0; x < 16; x++ {
+			row[x] = '0' + labels[y*16+x]
+		}
+		rows = append(rows, string(row))
+	}
+	return rows
 }
 
 func goldenPath(name string) string { return filepath.Join("testdata", name) }
@@ -76,13 +97,30 @@ func TestPTQGoldenRoundTrip(t *testing.T) {
 			got.WeightSum[n.Name] = sum
 		}
 	}
-	for y := 0; y < 16; y++ {
-		row := make([]byte, 16)
-		for x := 0; x < 16; x++ {
-			row[x] = '0' + labels[y*16+x]
-		}
-		got.Mask = append(got.Mask, string(row))
+	got.Mask = maskRows(labels)
+
+	// Mixed-precision entry: the same model with one bottleneck convolution
+	// dropped to INT4, locking BestFixPosBits, QuantizeSliceBits and the
+	// narrow-precision reference kernel in one round trip.
+	got.Int4Layer = "bottleneck.a.conv"
+	q4, err := PTQ(g, calib, Options{Config: &QConfig{Layers: map[string]int{got.Int4Layer: Bits4}}})
+	if err != nil {
+		t.Fatal(err)
 	}
+	n4 := q4.Node(got.Int4Layer)
+	if n4 == nil || n4.Bits != Bits4 {
+		t.Fatalf("golden INT4 layer %q missing or not INT4", got.Int4Layer)
+	}
+	got.Int4WeightFP = int(n4.WeightFP)
+	got.Int4OutFP = int(n4.OutFP)
+	for _, w := range n4.Weight {
+		got.Int4WeightSum += int(w)
+	}
+	labels4, err := q4.ExecuteLabels(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Int4Mask = maskRows(labels4)
 
 	path := goldenPath("ptq_golden.json")
 	if *updateGolden {
@@ -123,6 +161,23 @@ func TestPTQGoldenRoundTrip(t *testing.T) {
 	for y := range want.Mask {
 		if y >= len(got.Mask) || got.Mask[y] != want.Mask[y] {
 			t.Errorf("mask row %2d: got %s, golden %s", y, got.Mask[y], want.Mask[y])
+		}
+	}
+	if got.Int4Layer != want.Int4Layer {
+		t.Errorf("INT4 layer %q, golden %q", got.Int4Layer, want.Int4Layer)
+	}
+	if got.Int4WeightFP != want.Int4WeightFP {
+		t.Errorf("INT4 weight fix position %d, golden %d", got.Int4WeightFP, want.Int4WeightFP)
+	}
+	if got.Int4WeightSum != want.Int4WeightSum {
+		t.Errorf("INT4 weight digest %d, golden %d", got.Int4WeightSum, want.Int4WeightSum)
+	}
+	if got.Int4OutFP != want.Int4OutFP {
+		t.Errorf("INT4 output fix position %d, golden %d", got.Int4OutFP, want.Int4OutFP)
+	}
+	for y := range want.Int4Mask {
+		if y >= len(got.Int4Mask) || got.Int4Mask[y] != want.Int4Mask[y] {
+			t.Errorf("INT4 mask row %2d: got %s, golden %s", y, got.Int4Mask[y], want.Int4Mask[y])
 		}
 	}
 }

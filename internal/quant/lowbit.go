@@ -1,0 +1,189 @@
+package quant
+
+import "seneca/internal/par"
+
+// Reference kernels for the non-INT8 precisions of a mixed-precision graph
+// (QConfig): plain gather loops, parallel over output channels only, so
+// results are bit-identical for any par.SetMaxWorkers setting. The INT8
+// hot path (kernels.go) is untouched — these layers are the search
+// candidates, not the deployed steady state, and the DPU timing model
+// prices them independently of how fast this host simulation runs.
+
+// convIntRef is the narrow-precision convolution: int8-stored codes in,
+// bits-wide saturating write-back out. Power-of-two scales keep the
+// requantization a RoundShiftBits.
+func convIntRef(src []int8, inC, inH, inW int, w []int8, bias []int32, outC, k, stride, pad, shift int, relu bool, bits int, dst []int8, outH, outW int) {
+	hw := outH * outW
+	par.For(outC, func(oc int) {
+		var b int64
+		if oc < len(bias) {
+			b = int64(bias[oc])
+		}
+		wBase := oc * inC * k * k
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := b
+				for ic := 0; ic < inC; ic++ {
+					plane := ic * inH * inW
+					wRow := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							acc += int64(src[plane+iy*inW+ix]) * int64(w[wRow+ky*k+kx])
+						}
+					}
+				}
+				v := RoundShiftBits(acc, shift, bits)
+				if relu && v < 0 {
+					v = 0
+				}
+				dst[oc*hw+oy*outW+ox] = v
+			}
+		}
+	})
+}
+
+// convTransposeIntRef is convIntRef's transpose counterpart, written as an
+// output-centric gather (every output pixel collects the input taps that
+// scatter onto it), so no accumulator plane is needed. Weight layout is
+// [InC, OutC, K, K] as on the graph node.
+func convTransposeIntRef(src []int8, inC, inH, inW int, w []int8, bias []int32, outC, k, stride, pad, shift int, relu bool, bits int, dst []int8, outH, outW int) {
+	hw := outH * outW
+	kk := k * k
+	par.For(outC, func(oc int) {
+		var b int64
+		if oc < len(bias) {
+			b = int64(bias[oc])
+		}
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := b
+				for ky := 0; ky < k; ky++ {
+					ty := oy + pad - ky
+					if ty < 0 || ty%stride != 0 {
+						continue
+					}
+					iy := ty / stride
+					if iy >= inH {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						tx := ox + pad - kx
+						if tx < 0 || tx%stride != 0 {
+							continue
+						}
+						ix := tx / stride
+						if ix >= inW {
+							continue
+						}
+						at := iy*inW + ix
+						for ic := 0; ic < inC; ic++ {
+							acc += int64(src[ic*inH*inW+at]) * int64(w[(ic*outC+oc)*kk+ky*k+kx])
+						}
+					}
+				}
+				v := RoundShiftBits(acc, shift, bits)
+				if relu && v < 0 {
+					v = 0
+				}
+				dst[oc*hw+oy*outW+ox] = v
+			}
+		}
+	})
+}
+
+// convFP32Ref executes an FP32-fallback convolution: the int8 input is
+// dequantized on the fly at inFP, the layer computes in float with the
+// retained WeightF/BiasF, and the result is requantized onto the int8
+// activation grid at outFP.
+func convFP32Ref(src []int8, inFP FixPos, inC, inH, inW int, wf, bf []float32, outC, k, stride, pad int, relu bool, outFP FixPos, dst []int8, outH, outW int) {
+	hw := outH * outW
+	inv := inFP.InvScale()
+	par.For(outC, func(oc int) {
+		var b float32
+		if oc < len(bf) {
+			b = bf[oc]
+		}
+		wBase := oc * inC * k * k
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := b
+				for ic := 0; ic < inC; ic++ {
+					plane := ic * inH * inW
+					wRow := wBase + ic*k*k
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							acc += float32(src[plane+iy*inW+ix]) * inv * wf[wRow+ky*k+kx]
+						}
+					}
+				}
+				if relu && acc < 0 {
+					acc = 0
+				}
+				dst[oc*hw+oy*outW+ox] = QuantizeValue(acc, outFP)
+			}
+		}
+	})
+}
+
+// convTransposeFP32Ref is convFP32Ref's transpose counterpart (weight
+// layout [InC, OutC, K, K], output-centric gather).
+func convTransposeFP32Ref(src []int8, inFP FixPos, inC, inH, inW int, wf, bf []float32, outC, k, stride, pad int, relu bool, outFP FixPos, dst []int8, outH, outW int) {
+	hw := outH * outW
+	kk := k * k
+	inv := inFP.InvScale()
+	par.For(outC, func(oc int) {
+		var b float32
+		if oc < len(bf) {
+			b = bf[oc]
+		}
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := b
+				for ky := 0; ky < k; ky++ {
+					ty := oy + pad - ky
+					if ty < 0 || ty%stride != 0 {
+						continue
+					}
+					iy := ty / stride
+					if iy >= inH {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						tx := ox + pad - kx
+						if tx < 0 || tx%stride != 0 {
+							continue
+						}
+						ix := tx / stride
+						if ix >= inW {
+							continue
+						}
+						at := iy*inW + ix
+						for ic := 0; ic < inC; ic++ {
+							acc += float32(src[ic*inH*inW+at]) * inv * wf[(ic*outC+oc)*kk+ky*k+kx]
+						}
+					}
+				}
+				if relu && acc < 0 {
+					acc = 0
+				}
+				dst[oc*hw+oy*outW+ox] = QuantizeValue(acc, outFP)
+			}
+		}
+	})
+}

@@ -91,7 +91,11 @@ func biasCorrect(q *QGraph, folded *graph.Graph, images []*tensor.Tensor) error 
 
 	wantNode := func(name string) bool {
 		n := q.Node(name)
-		return n != nil && (n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose)
+		// FP32-fallback layers keep float parameters and have no int32 bias
+		// to correct; integer layers (8- or 4-bit) both accumulate on the
+		// InFP+WeightFP grid the correction is expressed in.
+		return n != nil && (n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose) &&
+			effBits(n) != BitsFP32
 	}
 
 	for _, img := range images {

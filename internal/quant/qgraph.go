@@ -20,10 +20,25 @@ type QNode struct {
 
 	// Weight is the quantized kernel (Conv: [OutC,InC,K,K] flattened;
 	// ConvTranspose: [InC,OutC,K,K] flattened) at fix position WeightFP.
+	// For an INT4 layer the codes live in [-8,7] (still one int8 each — the
+	// reference path trades storage for simplicity; only the timing model
+	// prices the packed 4-bit footprint). Nil for an FP32-fallback layer.
 	Weight   []int8
 	WeightFP FixPos
 	// Bias is int32 at fix position InFP+WeightFP (the accumulator grid).
 	Bias []int32
+
+	// Bits is the layer's precision: 4, 8 or 32 (quant.Bits4/Bits8/
+	// BitsFP32); 0 means 8 so pre-mixed-precision graphs keep working.
+	// Convolutions take it from the QConfig; ReLU and max-pool inherit
+	// their producer's so a 4-bit stack keeps a 4-bit activation grid.
+	Bits int
+	// WeightF/BiasF hold the retained float parameters of an FP32-fallback
+	// layer (Bits == BitsFP32); Weight/Bias are nil for those nodes. The
+	// layer dequantizes its int8 input, computes in float and requantizes
+	// the output back onto the int8 grid at OutFP.
+	WeightF []float32
+	BiasF   []float32
 
 	// InFP / OutFP are the activation fix positions at this node's input(s)
 	// (after requantization to a common grid) and output.
@@ -78,6 +93,9 @@ func (n *QNode) Clone() *QNode {
 		Bias:      n.Bias,
 		InFP:      n.InFP,
 		OutFP:     n.OutFP,
+		Bits:      n.Bits,
+		WeightF:   n.WeightF,
+		BiasF:     n.BiasF,
 		FusedReLU: n.FusedReLU,
 		OutShape:  n.OutShape,
 
@@ -157,6 +175,18 @@ type Options struct {
 	// per output channel instead of per tensor. The DPU flow uses per-tensor
 	// (the default); per-channel is provided for the ablation study.
 	PerChannelWeights bool
+	// Config assigns per-layer bitwidths (INT4 / INT8 / FP32 fallback) by
+	// folded-graph convolution name. Nil keeps the uniform-INT8 flow
+	// bit-identical to the pre-mixed-precision quantizer.
+	Config *QConfig
+}
+
+// effBits normalizes a node's stored precision (0 means 8).
+func effBits(n *QNode) int {
+	if n.Bits == 0 {
+		return Bits8
+	}
+	return n.Bits
 }
 
 // Quantize converts a folded FP32 graph into a QGraph using calibration
@@ -165,6 +195,9 @@ func Quantize(g *graph.Graph, cal *Calibration, opt Options) (*QGraph, error) {
 	defer obs.Time("quantize")()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("quant: quantizing invalid graph: %w", err)
+	}
+	if err := opt.Config.Validate(); err != nil {
+		return nil, err
 	}
 	fps := cal.FixPositions()
 	q := &QGraph{
@@ -198,10 +231,35 @@ func Quantize(g *graph.Graph, cal *Calibration, opt Options) (*QGraph, error) {
 		case graph.KindConv, graph.KindConvTranspose:
 			inFP := q.byName[n.Inputs[0]].OutFP
 			qn.InFP = inFP
-			wq, wfp := quantizeWeights(n, opt)
-			qn.Weight = wq
-			qn.WeightFP = wfp
-			qn.Bias = quantizeBias(n.Bias, inFP+wfp)
+			switch bits := opt.Config.BitsFor(n.Name); bits {
+			case Bits8:
+				wq, wfp := quantizeWeights(n, opt)
+				qn.Weight = wq
+				qn.WeightFP = wfp
+				qn.Bias = quantizeBias(n.Bias, inFP+wfp)
+			case Bits4:
+				// Narrow integer layer: 4-bit weight codes and a 4-bit
+				// output grid, so the write-back clamp and every
+				// downstream requantization remain plain shifts.
+				qn.Bits = Bits4
+				wfp := BestFixPosBits(n.Weight.MaxAbs(), Bits4)
+				wq := make([]int8, n.Weight.Len())
+				QuantizeSliceBits(n.Weight.Data, wfp, Bits4, wq)
+				qn.Weight = wq
+				qn.WeightFP = wfp
+				qn.Bias = quantizeBias(n.Bias, inFP+wfp)
+				qn.OutFP = BestFixPosBits(cal.MaxAbs[n.Name], Bits4)
+			case BitsFP32:
+				// Accuracy fallback: keep the float parameters; the
+				// executor dequantizes the int8 input, computes in float
+				// and requantizes onto the 8-bit OutFP grid, so the node
+				// re-enters the integer domain immediately.
+				qn.Bits = BitsFP32
+				qn.WeightF = append([]float32(nil), n.Weight.Data...)
+				qn.BiasF = append([]float32(nil), n.Bias...)
+			default:
+				return nil, fmt.Errorf("quant: layer %q: unsupported bitwidth %d", n.Name, bits)
+			}
 		case graph.KindConcat:
 			// Common input grid: the coarser (smaller fp) of the two inputs
 			// can represent both ranges; requantize to it, then to OutFP.
@@ -213,7 +271,17 @@ func Quantize(g *graph.Graph, cal *Calibration, opt Options) (*QGraph, error) {
 			}
 			qn.InFP = inFP
 		case graph.KindMaxPool, graph.KindReLU:
-			qn.InFP = q.byName[n.Inputs[0]].OutFP
+			prod := q.byName[n.Inputs[0]]
+			qn.InFP = prod.OutFP
+			if effBits(prod) == Bits4 {
+				// Stay on the producer's 4-bit grid: ReLU and pooling
+				// preserve ranges, so the inherited narrow fix position
+				// still covers the observed activations and a later
+				// ReLU-into-conv fusion keeps the 4-bit write-back clamp
+				// consistent.
+				qn.Bits = Bits4
+				qn.OutFP = BestFixPosBits(cal.MaxAbs[n.Name], Bits4)
+			}
 		case graph.KindSoftmax:
 			// Executed in float on the host (argmax of logits in practice).
 			qn.InFP = q.byName[n.Inputs[0]].OutFP

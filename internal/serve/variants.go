@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"seneca/internal/dpu"
+	"seneca/internal/obs"
+	"seneca/internal/tensor"
+	"seneca/internal/xmodel"
+)
+
+// VariantProvider supplies named compiled model variants — the serving-side
+// view of an mpq.Registry. Implementations must return names in a stable
+// order and nil for unknown names.
+type VariantProvider interface {
+	VariantNames() []string
+	Program(name string) *xmodel.Program
+}
+
+// TierConfig maps request tiers onto model variants. Clients select a tier
+// with the X-Seneca-Tier header (or pin a variant directly with
+// X-Seneca-Variant); requests without either header use Default.
+type TierConfig struct {
+	// Default is the variant for untagged requests.
+	Default string
+	// Tiers maps a tier name (e.g. "interactive", "batch") to the variant
+	// that answers it.
+	Tiers map[string]string
+}
+
+// Validate checks every referenced variant exists in the provider.
+func (tc TierConfig) Validate(vp VariantProvider) error {
+	if tc.Default == "" {
+		return errors.New("serve: tier config has no default variant")
+	}
+	if vp.Program(tc.Default) == nil {
+		return fmt.Errorf("serve: default variant %q not registered", tc.Default)
+	}
+	tiers := make([]string, 0, len(tc.Tiers))
+	for tier := range tc.Tiers {
+		tiers = append(tiers, tier)
+	}
+	sort.Strings(tiers)
+	for _, tier := range tiers {
+		if vp.Program(tc.Tiers[tier]) == nil {
+			return fmt.Errorf("serve: tier %q routes to unregistered variant %q", tier, tc.Tiers[tier])
+		}
+	}
+	return nil
+}
+
+// VariantFront serves a whole variant registry behind one HTTP surface:
+// one micro-batching Server per registered variant, all sharing the
+// device, with per-request variant selection by tier. This is how the
+// mixed-precision search's Pareto frontier reaches production: interactive
+// requests ride the fast low-precision variant, batch requests the
+// accurate one, without redeploying anything.
+type VariantFront struct {
+	dev      *dpu.Device
+	provider VariantProvider
+	tiers    TierConfig
+	order    []string
+	servers  map[string]*Server
+
+	reg       *obs.Registry
+	mRequests map[string]*obs.Counter
+}
+
+// NewVariantFront builds one Server per provided variant and wires tier
+// routing. All variants must share the same input geometry (they are
+// quantizations of the same model). cfg applies to every per-variant
+// server; cfg.Metrics (or a fresh registry) receives the front's
+// seneca_serve_variant_requests_total series and is what GET /metrics
+// serves.
+func NewVariantFront(dev *dpu.Device, vp VariantProvider, tiers TierConfig, cfg Config) (*VariantFront, error) {
+	if dev == nil {
+		return nil, errors.New("serve: nil device")
+	}
+	if vp == nil {
+		return nil, errors.New("serve: nil variant provider")
+	}
+	names := vp.VariantNames()
+	if len(names) == 0 {
+		return nil, errors.New("serve: variant provider is empty")
+	}
+	if err := tiers.Validate(vp); err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// Per-variant servers keep private registries: their series are
+	// identical families and would collide on the shared scrape; the front
+	// re-exports the cross-variant view instead.
+	serverCfg := cfg
+	serverCfg.Metrics = nil
+
+	f := &VariantFront{
+		dev:       dev,
+		provider:  vp,
+		tiers:     tiers,
+		servers:   make(map[string]*Server, len(names)),
+		reg:       reg,
+		mRequests: make(map[string]*obs.Counter, len(names)),
+	}
+	var geoC, geoH, geoW int
+	for i, name := range names {
+		prog := vp.Program(name)
+		if prog == nil {
+			return nil, fmt.Errorf("serve: provider listed %q but returned no program", name)
+		}
+		g := prog.Graph
+		if i == 0 {
+			geoC, geoH, geoW = g.InC, g.InH, g.InW
+		} else if g.InC != geoC || g.InH != geoH || g.InW != geoW {
+			f.shutdownAll()
+			return nil, fmt.Errorf("serve: variant %q input %d×%d×%d differs from %q's %d×%d×%d",
+				name, g.InC, g.InH, g.InW, names[0], geoC, geoH, geoW)
+		}
+		s, err := New(dev, prog, serverCfg)
+		if err != nil {
+			f.shutdownAll()
+			return nil, fmt.Errorf("serve: variant %q: %w", name, err)
+		}
+		f.order = append(f.order, name)
+		f.servers[name] = s
+		f.mRequests[name] = reg.Counter("seneca_serve_variant_requests_total",
+			"Requests answered per model variant.", obs.L("variant", name))
+	}
+	return f, nil
+}
+
+func (f *VariantFront) shutdownAll() {
+	for _, s := range f.servers {
+		s.Shutdown(context.Background())
+	}
+}
+
+// VariantNames lists the served variants in provider order.
+func (f *VariantFront) VariantNames() []string {
+	return append([]string(nil), f.order...)
+}
+
+// Server returns the per-variant server, or nil for unknown names — the
+// escape hatch for tests and for callers that need Stats of one variant.
+func (f *VariantFront) Server(name string) *Server { return f.servers[name] }
+
+// resolve maps an explicit variant pin and a tier to the serving variant
+// name, or an error when either names something unknown.
+func (f *VariantFront) resolve(variant, tier string) (string, error) {
+	if variant != "" {
+		if _, ok := f.servers[variant]; !ok {
+			return "", fmt.Errorf("serve: unknown variant %q", variant)
+		}
+		return variant, nil
+	}
+	if tier != "" {
+		name, ok := f.tiers.Tiers[tier]
+		if !ok {
+			return "", fmt.Errorf("serve: unknown tier %q", tier)
+		}
+		return name, nil
+	}
+	return f.tiers.Default, nil
+}
+
+// Submit routes one in-process request by tier ("" means the default tier)
+// and returns the mask plus the variant that answered.
+func (f *VariantFront) Submit(ctx context.Context, tier string, img *tensor.Tensor) (mask []uint8, variant string, err error) {
+	name, err := f.resolve("", tier)
+	if err != nil {
+		return nil, "", err
+	}
+	mask, err = f.servers[name].Submit(ctx, img)
+	if err == nil {
+		f.mRequests[name].Inc()
+	}
+	return mask, name, err
+}
+
+// Shutdown drains every per-variant server. The first error wins but every
+// server is asked to stop.
+func (f *VariantFront) Shutdown(ctx context.Context) error {
+	var first error
+	for _, name := range f.order {
+		if err := f.servers[name].Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Handler returns the front's HTTP surface — the same routes a single
+// Server exposes, with variant routing on /v1/segment:
+//
+//	POST /v1/segment   X-Seneca-Tier or X-Seneca-Variant selects the model;
+//	                   the response carries X-Seneca-Variant
+//	GET  /healthz      per-variant health, 503 when every variant drains
+//	GET  /statz        map of variant name → Stats
+//	GET  /metrics      the front registry (variant request counters)
+func (f *VariantFront) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/segment", f.handleSegment)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/statz", f.handleStatz)
+	mux.Handle("/metrics", f.reg.Handler())
+	return mux
+}
+
+func (f *VariantFront) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name, err := f.resolve(r.Header.Get("X-Seneca-Variant"), r.Header.Get("X-Seneca-Tier"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s := f.servers[name]
+	g := s.prog.Graph
+	img, status, err := DecodeSegmentRequest(w, r, g.InC, g.InH, g.InW, s.cfg.MaxBodyBytes)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	mask, occupancy, err := s.submit(r.Context(), img)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		secs := int(s.RetryAfter().Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	f.mRequests[name].Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Seneca-Mask-Shape", fmt.Sprintf("%dx%d", g.InH, g.InW))
+	h.Set("X-Seneca-Batch", strconv.Itoa(occupancy))
+	h.Set("X-Seneca-Variant", name)
+	w.Write(mask)
+}
+
+func (f *VariantFront) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	type vh struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+		Healthy  int    `json:"healthy_runners"`
+	}
+	out := make(map[string]vh, len(f.order))
+	allDraining := true
+	for _, name := range f.order {
+		s := f.servers[name]
+		h := s.Health()
+		status := "ok"
+		switch {
+		case s.Draining():
+			status = "draining"
+		case h.Healthy == 0:
+			status = "unhealthy"
+		case h.Degraded:
+			status = "degraded"
+		}
+		if !s.Draining() {
+			allDraining = false
+		}
+		out[name] = vh{Status: status, Draining: s.Draining(), Healthy: h.Healthy}
+	}
+	if allDraining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.Encode(out)
+}
+
+// handleStatz renders one Stats row per variant, keyed by variant name.
+func (f *VariantFront) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := make(map[string]Stats, len(f.order))
+	for _, name := range f.order {
+		out[name] = f.servers[name].Stats()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

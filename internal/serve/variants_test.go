@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seneca/internal/dpu"
+	"seneca/internal/quant"
+	"seneca/internal/tensor"
+	"seneca/internal/unet"
+	"seneca/internal/xmodel"
+)
+
+// mapProvider is a minimal VariantProvider for tests (the production one is
+// mpq.Registry).
+type mapProvider struct {
+	names    []string
+	programs map[string]*xmodel.Program
+}
+
+func (p *mapProvider) VariantNames() []string              { return p.names }
+func (p *mapProvider) Program(name string) *xmodel.Program { return p.programs[name] }
+
+// variantPrograms compiles two genuinely different variants of one model:
+// uniform INT8 and a mixed-precision one with INT4 layers.
+func variantPrograms(t testing.TB, size int) (*dpu.Device, *mapProvider, []*tensor.Tensor) {
+	t.Helper()
+	cfg := unet.Config{Name: "tiny", Depth: 2, BaseFilters: 8, InChannels: 1, NumClasses: 6, DropoutRate: 0, Seed: 2}
+	g := unet.New(cfg).Export(size, size)
+	rng := rand.New(rand.NewSource(7))
+	var calib []*tensor.Tensor
+	for i := 0; i < 6; i++ {
+		img := tensor.New(1, size, size)
+		for j := range img.Data {
+			img.Data[j] = float32(rng.NormFloat64() * 0.3)
+		}
+		calib = append(calib, img)
+	}
+	q8, err := quant.PTQ(g, calib, quant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := xmodel.Compile(q8, "int8-uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := quant.PTQ(g, calib, quant.Options{Config: &quant.QConfig{Layers: map[string]int{
+		"bottleneck.a.conv": quant.Bits4,
+		"bottleneck.b.conv": quant.Bits4,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := xmodel.Compile(qm, "mpq-fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &mapProvider{
+		names:    []string{"int8-uniform", "mpq-fast"},
+		programs: map[string]*xmodel.Program{"int8-uniform": acc, "mpq-fast": fast},
+	}
+	return dpu.New(dpu.ZCU104B4096()), prov, calib
+}
+
+func defaultTiers() TierConfig {
+	return TierConfig{
+		Default: "int8-uniform",
+		Tiers: map[string]string{
+			"interactive": "mpq-fast",
+			"batch":       "int8-uniform",
+		},
+	}
+}
+
+func newTestFront(t *testing.T) (*VariantFront, *mapProvider, []*tensor.Tensor) {
+	t.Helper()
+	dev, prov, imgs := variantPrograms(t, 32)
+	f, err := NewVariantFront(dev, prov, defaultTiers(), Config{MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		f.Shutdown(ctx)
+	})
+	return f, prov, imgs
+}
+
+func rawBody(img *tensor.Tensor) []byte {
+	buf := make([]byte, 4*len(img.Data))
+	for i, v := range img.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// TestTierRoutingAnswersWithDifferentVariants is the PR's serving
+// acceptance test: an interactive request and a batch request must be
+// answered by different registered variants, each with the mask its own
+// program produces.
+func TestTierRoutingAnswersWithDifferentVariants(t *testing.T) {
+	f, prov, imgs := newTestFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	img := imgs[0]
+
+	post := func(tier string) (string, []uint8) {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/segment", bytes.NewReader(rawBody(img)))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if tier != "" {
+			req.Header.Set("X-Seneca-Tier", tier)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tier %q: status %d: %s", tier, resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Seneca-Variant"), body
+	}
+
+	interactiveVariant, interactiveMask := post("interactive")
+	batchVariant, batchMask := post("batch")
+	if interactiveVariant == batchVariant {
+		t.Fatalf("both tiers answered by %q; want different variants", interactiveVariant)
+	}
+	if interactiveVariant != "mpq-fast" || batchVariant != "int8-uniform" {
+		t.Fatalf("tier map ignored: interactive→%q, batch→%q", interactiveVariant, batchVariant)
+	}
+	for tier, got := range map[string][]uint8{"mpq-fast": interactiveMask, "int8-uniform": batchMask} {
+		want, err := prov.Program(tier).Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("variant %q served a mask that is not its own program's output", tier)
+		}
+	}
+}
+
+func TestVariantPinAndUnknownRouting(t *testing.T) {
+	f, _, imgs := newTestFront(t)
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/segment", bytes.NewReader(rawBody(imgs[0])))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Seneca-Variant", "mpq-fast")
+	req.Header.Set("X-Seneca-Tier", "batch") // explicit pin wins over tier
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Seneca-Variant"); got != "mpq-fast" {
+		t.Fatalf("variant pin ignored, answered by %q", got)
+	}
+
+	for _, hdr := range []struct{ k, v string }{
+		{"X-Seneca-Tier", "no-such-tier"},
+		{"X-Seneca-Variant", "no-such-variant"},
+	} {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/segment", bytes.NewReader(rawBody(imgs[0])))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(hdr.k, hdr.v)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s=%s: status %d, want 404", hdr.k, hdr.v, resp.StatusCode)
+		}
+	}
+}
+
+// TestVariantObservability checks the per-variant request counter and the
+// per-variant /statz rows.
+func TestVariantObservability(t *testing.T) {
+	f, _, imgs := newTestFront(t)
+	ctx := context.Background()
+	if _, variant, err := f.Submit(ctx, "interactive", imgs[0]); err != nil || variant != "mpq-fast" {
+		t.Fatalf("interactive submit: variant %q err %v", variant, err)
+	}
+	if _, variant, err := f.Submit(ctx, "", imgs[1]); err != nil || variant != "int8-uniform" {
+		t.Fatalf("default submit: variant %q err %v", variant, err)
+	}
+	if _, _, err := f.Submit(ctx, "no-such-tier", imgs[0]); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`seneca_serve_variant_requests_total{variant="mpq-fast"} 1`,
+		`seneca_serve_variant_requests_total{variant="int8-uniform"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz map[string]Stats
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, name := range f.VariantNames() {
+		if _, ok := statz[name]; !ok {
+			t.Errorf("/statz has no row for variant %q", name)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestVariantFrontConstructionErrors(t *testing.T) {
+	dev, prov, _ := variantPrograms(t, 32)
+	if _, err := NewVariantFront(dev, prov, TierConfig{}, Config{}); err == nil {
+		t.Fatal("tier config without default accepted")
+	}
+	bad := defaultTiers()
+	bad.Tiers["bulk"] = "no-such-variant"
+	if _, err := NewVariantFront(dev, prov, bad, Config{}); err == nil {
+		t.Fatal("tier to unregistered variant accepted")
+	}
+	if _, err := NewVariantFront(dev, &mapProvider{}, defaultTiers(), Config{}); err == nil {
+		t.Fatal("empty provider accepted")
+	}
+	// Mismatched geometry: add a variant exported at a different size.
+	_, prov2, _ := variantPrograms(t, 16)
+	mixed := &mapProvider{
+		names: []string{"int8-uniform", "other-geo"},
+		programs: map[string]*xmodel.Program{
+			"int8-uniform": prov.programs["int8-uniform"],
+			"other-geo":    prov2.programs["int8-uniform"],
+		},
+	}
+	tiers := TierConfig{Default: "int8-uniform"}
+	if _, err := NewVariantFront(dev, mixed, tiers, Config{}); err == nil {
+		t.Fatal("mismatched input geometry accepted")
+	}
+}

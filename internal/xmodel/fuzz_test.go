@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"seneca/internal/quant"
+	"seneca/internal/tensor"
 	"seneca/internal/unet"
 )
 
@@ -15,6 +16,35 @@ func tinyProgramBytes(t testing.TB) []byte {
 	cfg := unet.Config{Name: "fuzz-seed", Depth: 1, BaseFilters: 4, InChannels: 1, NumClasses: 3, Seed: 7}
 	g := unet.New(cfg).Export(8, 8)
 	q, err := quant.QuantizeShapeOnly(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(q, cfg.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prog.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mixedProgramBytes serializes the same network with a per-layer precision
+// mix (INT4 + FP32 fallback), seeding the corpus with the version-2 bits
+// byte and float payloads.
+func mixedProgramBytes(t testing.TB) []byte {
+	t.Helper()
+	cfg := unet.Config{Name: "fuzz-seed-mixed", Depth: 1, BaseFilters: 4, InChannels: 1, NumClasses: 3, Seed: 7}
+	g := unet.New(cfg).Export(8, 8)
+	img := tensor.New(1, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float32(i%13)/13 - 0.5
+	}
+	q, err := quant.PTQ(g, []*tensor.Tensor{img}, quant.Options{Config: &quant.QConfig{Layers: map[string]int{
+		"bottleneck.a.conv": quant.Bits4,
+		"head.conv":         quant.BitsFP32,
+	}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,6 +72,14 @@ func FuzzReadProgram(f *testing.F) {
 	f.Add(seed[:len(seed)/2])
 	f.Add([]byte("XMDL"))
 	f.Add([]byte{})
+	mixed := mixedProgramBytes(f)
+	f.Add(mixed)
+	f.Add(mixed[:len(mixed)*3/4])
+	// Version-2 one-node files: a valid INT8 node, and precision bytes the
+	// decoder must reject without panicking.
+	f.Add(miniFile(2, 8))
+	f.Add(miniFile(2, 5))
+	f.Add(miniFile(2, 255))
 
 	// A hand-built minimal file: input node only, version 1.
 	var mini bytes.Buffer

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"seneca/internal/graph"
@@ -19,14 +20,19 @@ import (
 // Each node:
 //
 //	name | kind u8 | inputCount u32 | inputs... | kernel,stride,pad,outPad,
-//	inC,outC i32 | inFP,outFP,weightFP i32 | fusedReLU u8 |
-//	outShape 3×i32 | weightLen u32 | weights (int8) | biasLen u32 | bias (i32)
+//	inC,outC i32 | inFP,outFP,weightFP i32 | fusedReLU u8 | bits u8 |
+//	outShape 3×i32 | weightLen u32 | weights (int8) | biasLen u32 | bias (i32) |
+//	weightFLen u32 | weightsF (f32) | biasFLen u32 | biasF (f32)
 //
 // Strings are u32 length + bytes. Instructions are not stored; they are
 // deterministically re-derived from the graph on load.
+//
+// Version 2 added the per-node precision byte (bits: 4, 8 or 32; 0 means 8)
+// and the trailing float payloads carried by FP32-fallback layers. Version 1
+// files are still readable: every node loads as INT8 with no float payload.
 const (
 	magic   = "XMDL"
-	version = 1
+	version = 2
 )
 
 // Write serializes the program. Scalars are encoded by hand into a small
@@ -105,6 +111,12 @@ func (p *Program) Write(w io.Writer) error {
 		if err := bw.WriteByte(relu); err != nil {
 			return err
 		}
+		if !quant.ValidBits(n.Bits) {
+			return fmt.Errorf("xmodel: node %q: unsupported bitwidth %d", n.Name, n.Bits)
+		}
+		if err := bw.WriteByte(byte(n.Bits)); err != nil {
+			return err
+		}
 		for _, v := range n.OutShape {
 			if err := wi32(int32(v)); err != nil {
 				return err
@@ -142,6 +154,25 @@ func (p *Program) Write(w io.Writer) error {
 			}
 			if _, err := bw.Write(buf); err != nil {
 				return err
+			}
+		}
+		for _, fs := range [][]float32{n.WeightF, n.BiasF} {
+			if err := wu32(uint32(len(fs))); err != nil {
+				return err
+			}
+			for off := 0; off < len(fs); off += chunk / 4 {
+				end := off + chunk/4
+				if end > len(fs) {
+					end = len(fs)
+				}
+				part := fs[off:end]
+				buf := payload[:4*len(part)]
+				for i, f := range part {
+					le.PutUint32(buf[4*i:], math.Float32bits(f))
+				}
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -187,7 +218,7 @@ func Read(r io.Reader) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != 1 && ver != version {
 		return nil, fmt.Errorf("xmodel: unsupported version %d", ver)
 	}
 	name, err := rstr()
@@ -249,6 +280,16 @@ func Read(r io.Reader) (*Program, error) {
 			return nil, err
 		}
 		n.FusedReLU = relu != 0
+		if ver >= 2 {
+			bits, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if !quant.ValidBits(int(bits)) {
+				return nil, fmt.Errorf("xmodel: node %q: unsupported bitwidth %d", n.Name, bits)
+			}
+			n.Bits = int(bits)
+		}
 		for j := 0; j < 3; j++ {
 			v, err := ri32()
 			if err != nil {
@@ -296,6 +337,32 @@ func Read(r io.Reader) (*Program, error) {
 				return nil, fmt.Errorf("xmodel: reading bias: %w", err)
 			}
 			n.Bias = append(n.Bias, b)
+		}
+		if ver >= 2 {
+			for fi, dst := range []*[]float32{&n.WeightF, &n.BiasF} {
+				flen, err := ru32()
+				if err != nil {
+					return nil, err
+				}
+				if flen > 1<<26 {
+					return nil, fmt.Errorf("xmodel: implausible float payload length %d", flen)
+				}
+				if n.Bits != quant.BitsFP32 && flen != 0 {
+					return nil, fmt.Errorf("xmodel: node %q: float payload on a %d-bit node", n.Name, n.Bits)
+				}
+				if flen == 0 {
+					continue
+				}
+				fs := make([]float32, 0, min64(int64(flen), chunk))
+				for j := uint32(0); j < flen; j++ {
+					v, err := ru32()
+					if err != nil {
+						return nil, fmt.Errorf("xmodel: reading float payload %d: %w", fi, err)
+					}
+					fs = append(fs, math.Float32frombits(v))
+				}
+				*dst = fs
+			}
 		}
 		if n.Kind == graph.KindInput {
 			g.InputName = n.Name
@@ -371,6 +438,9 @@ func validateLoaded(g *quant.QGraph) error {
 			if d < 0 || d > maxLoadedDim {
 				return fmt.Errorf("xmodel: node %q: output shape %v out of range", n.Name, n.OutShape)
 			}
+		}
+		if !quant.ValidBits(n.Bits) {
+			return fmt.Errorf("xmodel: node %q: unsupported bitwidth %d", n.Name, n.Bits)
 		}
 		if n.Kind == graph.KindConv || n.Kind == graph.KindConvTranspose {
 			switch {

@@ -61,6 +61,12 @@ type Instruction struct {
 	OutH, OutW     int
 	Kernel, Stride int
 	FusedReLU      bool
+
+	// Bits is the operating precision (quant.Bits4/Bits8/BitsFP32; 0 means
+	// 8). INT4 layers halve weight and output traffic and double the MAC
+	// rate of the hybrid computing array; FP32-fallback layers run on the
+	// scalar path at a heavy cycle penalty.
+	Bits int
 }
 
 // Program is a compiled xmodel: the quantized graph (functional semantics)
@@ -95,14 +101,16 @@ func Compile(q *quant.QGraph, name string) (*Program, error) {
 		case graph.KindConv, graph.KindConvTranspose:
 			prog.Instructions = append(prog.Instructions, loweredConv(n))
 		case graph.KindMaxPool:
+			bits := effNodeBits(n)
 			inBytes := padC(n.OutShape[0]) * int64(n.OutShape[1]*2) * int64(n.OutShape[2]*2)
 			prog.Instructions = append(prog.Instructions, Instruction{
 				Op: OpPool, Node: n.Name,
-				InBytes:  inBytes,
-				OutBytes: padC(n.OutShape[0]) * int64(n.OutShape[1]) * int64(n.OutShape[2]),
+				InBytes:  packBytes(inBytes, bits),
+				OutBytes: packBytes(padC(n.OutShape[0])*int64(n.OutShape[1])*int64(n.OutShape[2]), bits),
 				InC:      n.OutShape[0], OutC: n.OutShape[0],
 				OutH: n.OutShape[1], OutW: n.OutShape[2],
 				Kernel: 2, Stride: 2,
+				Bits: bits,
 			})
 		case graph.KindConcat:
 			// Store-target fusion: inputs whose producer writes directly into
@@ -161,18 +169,48 @@ func loweredConv(n *quant.QNode) Instruction {
 		inBytes = padC(n.InC) * int64(ih) * int64(iw)
 		op = OpDConv
 	}
-	weightBytes := int64(len(n.Weight)) + int64(len(n.Bias))*4
+	bits := effNodeBits(n)
+	var weightBytes int64
+	switch bits {
+	case quant.BitsFP32:
+		weightBytes = 4*int64(len(n.WeightF)) + 4*int64(len(n.BiasF))
+	case quant.Bits4:
+		// Two 4-bit codes pack per byte in DDR; biases stay 32-bit.
+		weightBytes = (int64(len(n.Weight))+1)/2 + int64(len(n.Bias))*4
+	default:
+		weightBytes = int64(len(n.Weight)) + int64(len(n.Bias))*4
+	}
 	return Instruction{
 		Op: op, Node: n.Name,
 		MACs:        macs,
 		WeightBytes: weightBytes,
 		InBytes:     inBytes,
-		OutBytes:    padC(n.OutC) * int64(n.OutShape[1]) * int64(n.OutShape[2]),
+		OutBytes:    packBytes(padC(n.OutC)*int64(n.OutShape[1])*int64(n.OutShape[2]), bits),
 		InC:         n.InC, OutC: n.OutC,
 		OutH: n.OutShape[1], OutW: n.OutShape[2],
 		Kernel: n.Kernel, Stride: n.Stride,
 		FusedReLU: n.FusedReLU,
+		Bits:      bits,
 	}
+}
+
+// effNodeBits normalizes a node's precision (0 means INT8).
+func effNodeBits(n *quant.QNode) int {
+	if n.Bits == 0 {
+		return quant.Bits8
+	}
+	return n.Bits
+}
+
+// packBytes scales a byte count that assumes one byte per element down to
+// the packed size of a narrower grid. Only INT4 packs (two codes per byte);
+// FP32-fallback activations re-enter the int8 grid at the layer boundary, so
+// their traffic is unchanged.
+func packBytes(b int64, bits int) int64 {
+	if bits == quant.Bits4 {
+		return (b + 1) / 2
+	}
+	return b
 }
 
 // padC returns the channel count padded to the DPU's feature-map bank
@@ -264,8 +302,12 @@ func fuseStoreTargets(q *quant.QGraph) {
 			if p == nil {
 				return // malformed graph; leave lowering to report it
 			}
+			// Non-INT8 producers use the reference kernels, which write back
+			// with their own clamp and do not implement the fused double
+			// round-shift — those sides keep the explicit concat copy.
 			fusable := (p.Kind == graph.KindConv || p.Kind == graph.KindConvTranspose) &&
-				consumers[inName] == 1 && inName != q.OutputName && p.StoreTarget == ""
+				consumers[inName] == 1 && inName != q.OutputName && p.StoreTarget == "" &&
+				effNodeBits(p) == quant.Bits8
 			if fusable {
 				p.StoreTarget = n.Name
 				p.StoreOffset = offset

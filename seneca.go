@@ -40,12 +40,15 @@ import (
 	"seneca/internal/experiments"
 	"seneca/internal/fault"
 	"seneca/internal/gpusim"
+	"seneca/internal/graph"
 	"seneca/internal/metrics"
+	"seneca/internal/mpq"
 	"seneca/internal/nifti"
 	"seneca/internal/obs"
 	"seneca/internal/phantom"
 	"seneca/internal/serve"
 	"seneca/internal/study"
+	"seneca/internal/tensor"
 	"seneca/internal/unet"
 	"seneca/internal/vart"
 	"seneca/internal/xmodel"
@@ -170,6 +173,34 @@ type (
 	// OpenLoopReport summarizes an open-loop run: goodput, shed rate and
 	// p50/p99/p999 latency from histogram buckets.
 	OpenLoopReport = serve.OpenLoopReport
+	// Graph is an exported FP32 computation graph ((*Model).Export's
+	// result) — the input to quantization, pruning and the
+	// mixed-precision search.
+	Graph = graph.Graph
+	// Tensor is the NCHW float32 tensor every pipeline stage exchanges
+	// (Dataset.Images returns calibration batches of these).
+	Tensor = tensor.Tensor
+	// MPQOptions tunes the mixed-precision search (Dice floor, pruning
+	// fraction, candidate bitwidths, device model).
+	MPQOptions = mpq.Options
+	// MPQFrontier is a search result: every evaluated variant with the
+	// Pareto-optimal ones marked, plus the sensitivity table.
+	MPQFrontier = mpq.Frontier
+	// MPQVariant is one named point of the mixed-precision search space
+	// with its compiled program and measured accuracy/performance.
+	MPQVariant = mpq.Variant
+	// MPQRegistry holds a search's compiled variants by name; it satisfies
+	// VariantProvider, so a VariantFront can serve it directly.
+	MPQRegistry = mpq.Registry
+	// MPQSensitivityTable is the per-layer bitwidth sensitivity analysis.
+	MPQSensitivityTable = mpq.Table
+	// VariantProvider supplies named compiled model variants to serving.
+	VariantProvider = serve.VariantProvider
+	// VariantTierConfig maps request tiers (X-Seneca-Tier) onto variants.
+	VariantTierConfig = serve.TierConfig
+	// VariantFront serves a whole variant registry behind one HTTP
+	// surface: one micro-batching server per variant, tier-routed.
+	VariantFront = serve.VariantFront
 )
 
 // Cluster admission tiers.
@@ -273,6 +304,28 @@ func NewServer(dev *DPU, prog *Program, cfg ServeConfig) (*InferenceServer, erro
 // cmd/seneca-study).
 func NewStudyService(srv *InferenceServer, cfg StudyConfig) (*StudyService, error) {
 	return study.New(srv, cfg)
+}
+
+// SearchMixedPrecision runs the full mixed-precision quantization search
+// on a trained FP32 graph: per-layer INT4/FP32 sensitivity analysis,
+// greedy bitwidth composition (optionally on a filter-pruned topology)
+// under a global-Dice floor, and Pareto marking over (Dice, FPS/W). The
+// frontier's Registry() feeds NewVariantFront (see cmd/seneca-mpq).
+func SearchMixedPrecision(g *Graph, calib []*Tensor, val *Dataset, opt MPQOptions) (*MPQFrontier, error) {
+	return mpq.Search(g, calib, val, opt)
+}
+
+// AnalyzeSensitivity builds just the per-layer bitwidth sensitivity table
+// (the first stage of SearchMixedPrecision), deterministically.
+func AnalyzeSensitivity(g *Graph, calib []*Tensor, val *Dataset, opt MPQOptions) (*MPQSensitivityTable, error) {
+	return mpq.Analyze(g, calib, val, opt)
+}
+
+// NewVariantFront serves every variant of a registry behind one HTTP
+// surface with per-request tier routing: interactive tiers ride fast
+// low-precision variants, batch tiers the accurate ones.
+func NewVariantFront(dev *DPU, vp VariantProvider, tiers VariantTierConfig, cfg ServeConfig) (*VariantFront, error) {
+	return serve.NewVariantFront(dev, vp, tiers, cfg)
 }
 
 // ReadNIfTI / WriteNIfTI move volumes between disk and memory; gzip is
