@@ -4,8 +4,8 @@ GO ?= go
 # per PR (BENCH_PR<N>.json) and diffed against the previous PR's committed
 # snapshot (see `make bench` / `make bench-compare`).
 TIER1_BENCH = ^Benchmark(INT8Inference|GPUSimInference|DPUSimInference|FP32Forward|TrainingStep|DPUFrameModel|VARTSimulation|XmodelSerialize)$$
-BENCH_SNAPSHOT   = BENCH_PR9.json
-BENCH_BASELINE   = BENCH_PR8.json
+BENCH_SNAPSHOT   = BENCH_PR10.json
+BENCH_BASELINE   = BENCH_PR9.json
 # Gating tolerance for bench-compare, in percent ns/op growth. Repeated runs
 # on one machine scatter by ±10-15% and hosted CI runners more, so the gate
 # only trips on regressions far outside the noise floor; alloc counts are

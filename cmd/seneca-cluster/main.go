@@ -53,6 +53,11 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive dispatch failures that eject a node")
 	ejectCooldown := flag.Duration("eject-cooldown", 500*time.Millisecond, "ejected-node cooldown before a probe")
 	attempts := flag.Int("attempts", 3, "nodes one request may be dispatched to before erroring")
+	hedgeFraction := flag.Float64("hedge-fraction", 0, "hedge an interactive request after this fraction of its remaining deadline (0 disables hedging)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedge delay for deadline-less interactive requests (0 = never hedge them)")
+	retryBudgetFrac := flag.Float64("retry-budget", 0.1, "retries+hedges allowed per window, as a fraction of requests")
+	retryBudgetMin := flag.Int("retry-budget-min", 10, "retry-budget floor per window, so a quiet fleet can still retry")
+	retryBudgetWindow := flag.Duration("retry-budget-window", 10*time.Second, "retry-budget accounting window")
 
 	runners := flag.Int("runners", 1, "runner pool size per node")
 	threads := flag.Int("threads", 4, "host threads per runner (paper deploys 4)")
@@ -121,7 +126,14 @@ func main() {
 		EjectCooldown:  *ejectCooldown,
 		MaxAttempts:    *attempts,
 		MaxBodyBytes:   *maxBody,
-		Metrics:        obs.Default,
+
+		HedgeFraction:     *hedgeFraction,
+		HedgeAfter:        *hedgeAfter,
+		RetryBudgetFrac:   *retryBudgetFrac,
+		RetryBudgetMin:    *retryBudgetMin,
+		RetryBudgetWindow: *retryBudgetWindow,
+
+		Metrics: obs.Default,
 	})
 	if err != nil {
 		lg.Error("starting cluster", "err", err)

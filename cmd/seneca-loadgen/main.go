@@ -16,6 +16,11 @@
 //	seneca-loadgen -addr http://localhost:8080 -arrival poisson -rate 200 -duration 10s
 //	seneca-loadgen -arrival diurnal -rate 100          # compressed day/night cycle
 //	seneca-loadgen -arrival flash -rate 50 -flash-factor 10 -tier batch
+//	seneca-loadgen -arrival flash -rate 50 -deadline 500ms -hedge-report
+//
+// -deadline attaches an X-Seneca-Deadline-Ms budget to every request (504s
+// count as expired, not errors); -hedge-report appends a served-variant
+// breakdown and the hedged fraction, both read from response headers.
 //
 // The generator asks GET /statz for the model's input geometry, fabricates
 // a random slice of that shape, and reuses it for every request. In the
@@ -49,6 +54,8 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "open-loop run length")
 	flashFactor := flag.Float64("flash-factor", 8, "rate multiplier during the flash-crowd window")
 	tier := flag.String("tier", "", `X-Seneca-Tier header for open-loop requests ("interactive" or "batch")`)
+	deadline := flag.Duration("deadline", 0, "per-request deadline sent as X-Seneca-Deadline-Ms (0 omits the header)")
+	hedgeReport := flag.Bool("hedge-report", false, "after an open-loop run, print served-variant counts and the hedged fraction from response headers")
 	seed := flag.Int64("seed", 7, "input noise and arrival schedule seed")
 	flag.Parse()
 
@@ -79,8 +86,13 @@ func main() {
 			FlashFactor: *flashFactor,
 			Seed:        *seed,
 			Tier:        *tier,
+			Deadline:    *deadline,
 		})
 		serve.FormatOpenLoop(os.Stdout, []serve.OpenLoopReport{rep})
+		if *hedgeReport {
+			fmt.Println()
+			serve.FormatHedgeReport(os.Stdout, rep)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

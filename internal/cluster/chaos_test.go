@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"testing"
@@ -157,5 +158,109 @@ func TestChaosDispatchStallRedispatches(t *testing.T) {
 	}
 	if got := fault.Injected("cluster.node.dispatch"); got != 3 {
 		t.Fatalf("injected %d, want 3", got)
+	}
+}
+
+// TestChaosSlowNodeHedgedMidBurst is the overload-robustness satellite:
+// one node of two develops a percentile-shaped latency tail (the slowest
+// 20% of its dispatches stall 3s — far past any healthy service time),
+// while interactive clients carry 6s deadlines and hedge after a third of
+// the remaining budget. Hedging must rescue every stalled request inside
+// its deadline with zero wrong, lost or duplicated responses, and the
+// hedge counters must reconcile with the fault registry's stall census.
+// Runs under -race in `make chaos`.
+func TestChaosSlowNodeHedgedMidBurst(t *testing.T) {
+	c, prog, imgs := newTestCluster(t,
+		Config{
+			MinNodes: 2, MaxNodes: 2,
+			HedgeFraction:   1.0 / 3,
+			RetryBudgetFrac: 1,
+			RetryBudgetMin:  1000, // the budget must never be the limiter here
+		},
+		serve.Config{QueueDepth: 256, MaxBatch: 4})
+
+	// Fault-free goldens, computed before arming the registry.
+	ref := dpu.New(dpu.ZCU104B4096())
+	goldens := make([][]uint8, len(imgs))
+	for i, img := range imgs {
+		want, err := ref.Execute(prog, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = want
+	}
+
+	fault.Seed(11)
+	fault.Enable("cluster.node.serve.0", fault.SlowTail(0.8, 3*time.Second))
+	t.Cleanup(fault.Reset)
+
+	const clients, perClient = 8, 40
+	var (
+		wg                             sync.WaitGroup
+		mu                             sync.Mutex
+		wrong, lost, hedged, completed int
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				idx := (cl*perClient + i) % len(imgs)
+				ctx, cancel := context.WithTimeout(context.Background(), 6*time.Second)
+				res, err := c.Do(ctx, imgs[idx], "", TierInteractive)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					lost++
+					mu.Unlock()
+					t.Logf("client %d request %d: %v", cl, i, err)
+					continue
+				}
+				completed++
+				if res.Hedged {
+					hedged++
+				}
+				if !bytes.Equal(res.Mask, goldens[idx]) {
+					wrong++
+				}
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if wrong != 0 || lost != 0 {
+		t.Fatalf("slow-node burst: %d wrong, %d lost of %d (want 0/0)", wrong, lost, clients*perClient)
+	}
+	st := c.Stats()
+	// Exactly one completion per offered request: first-response-wins must
+	// never double-count a request whose two legs both ran.
+	if st.Interactive.Completed != uint64(clients*perClient) {
+		t.Fatalf("fleet completed %d of %d offered", st.Interactive.Completed, clients*perClient)
+	}
+	injected := fault.Injected("cluster.node.serve.0")
+	if injected == 0 {
+		t.Fatal("the slow-node program never fired")
+	}
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedges = %d, wins = %d — a 3s stall against a 2s threshold must hedge and win", st.Hedges, st.HedgeWins)
+	}
+	if st.RetryDenied != 0 {
+		t.Fatalf("retry budget denied %d hedges despite a 1000-token floor", st.RetryDenied)
+	}
+	// Reconcile the counters: every client that was hedged saw exactly one
+	// hedge leg, so the fleet counter must equal the client census.
+	if hedged != int(st.Hedges) {
+		t.Fatalf("clients saw %d hedged responses, fleet launched %d hedge legs", hedged, st.Hedges)
+	}
+	// Reconcile against the stall census: a 3s stall is the only way a leg
+	// outlives the 2s hedge threshold, so every hedge traces to an injected
+	// stall (hedges ≤ injected); and since only a request's primary or its
+	// single hedge leg can stall, injected ≤ 2×hedges.
+	if int(st.Hedges) > injected || injected > 2*int(st.Hedges) {
+		t.Fatalf("hedges = %d vs %d injected stalls — outside the reconcilable band", st.Hedges, injected)
+	}
+	if st.HedgeWins > st.Hedges {
+		t.Fatalf("hedge wins %d exceed hedges %d", st.HedgeWins, st.Hedges)
 	}
 }

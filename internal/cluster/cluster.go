@@ -29,14 +29,23 @@
 //	load shedding      a fleet with no admitting node rejects with
 //	                   ErrSaturated → HTTP 429 + Retry-After
 //
-// Every dispatch consults the fault point "cluster.node.dispatch", so
-// chaos tests can kill a node mid-burst and assert that redispatch to a
-// healthy node loses nothing.
+// Interactive requests carrying a deadline may hedge: past HedgeFraction
+// of the remaining deadline a second dispatch launches on a different
+// healthy node, first response wins and the loser is cancelled (its queued
+// job is dropped by the serve tier before consuming board time). Retries
+// and hedges share a per-window SRE-style retry budget so a sick fleet
+// cannot melt itself with a retry storm.
+//
+// Every dispatch consults the fault point "cluster.node.dispatch" plus a
+// per-slot "cluster.node.serve.<slot>", so chaos tests can kill a node
+// mid-burst — or make exactly one node tail-latency slow (fault slow=
+// programs) — and assert that redispatch and hedging lose nothing.
 package cluster
 
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -112,6 +121,27 @@ type Config struct {
 	// MaxAttempts bounds how many nodes one request may be dispatched to
 	// before its error surfaces. Default 3.
 	MaxAttempts int
+	// HedgeFraction enables cross-node hedging of interactive requests:
+	// one still waiting after this fraction of its remaining deadline gets
+	// a second dispatch to a different healthy node, first response wins,
+	// loser cancelled. 0 (default) disables hedging. Sensible values sit
+	// around 0.2–0.5: small enough to rescue the deadline, large enough
+	// that the common case never pays for two dispatches.
+	HedgeFraction float64
+	// HedgeAfter is the hedge threshold for interactive requests that
+	// carry no deadline, when HedgeFraction is set. 0 (default) means
+	// deadline-less requests never hedge.
+	HedgeAfter time.Duration
+	// RetryBudgetFrac bounds retries and hedges per RetryBudgetWindow to
+	// this fraction of admitted requests (with a RetryBudgetMin floor), so
+	// a sick fleet cannot multiply its own load with a retry storm.
+	// Default 0.1.
+	RetryBudgetFrac float64
+	// RetryBudgetMin is the per-window retry floor, so low traffic can
+	// still retry at all. Default 10.
+	RetryBudgetMin int
+	// RetryBudgetWindow is the budget accounting window. Default 10s.
+	RetryBudgetWindow time.Duration
 	// MaxBodyBytes caps HTTP request bodies on the front door. Default
 	// 256 MiB.
 	MaxBodyBytes int64
@@ -163,6 +193,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
+	if c.RetryBudgetFrac <= 0 {
+		c.RetryBudgetFrac = 0.1
+	}
+	if c.RetryBudgetMin <= 0 {
+		c.RetryBudgetMin = 10
+	}
+	if c.RetryBudgetWindow <= 0 {
+		c.RetryBudgetWindow = 10 * time.Second
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
@@ -170,11 +209,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Result is one completed dispatch: the mask, the micro-batch occupancy it
-// rode in on its node, and the slot of the node that served it.
+// rode in on its node, the slot of the node that served it, and whether a
+// hedge leg was launched for it.
 type Result struct {
 	Mask      []uint8
 	Occupancy int
 	Node      int
+	Hedged    bool
 }
 
 // Cluster is the sharded serving fleet. Construct with New, release with
@@ -183,6 +224,12 @@ type Cluster struct {
 	cfg     Config
 	factory func() (*serve.Server, error)
 	faults  *fault.Registry
+	budget  *retryBudget
+
+	// nodePoints[i] is the per-slot fault point name consulted before each
+	// dispatch to slot i ("cluster.node.serve.<slot>"), precomputed so the
+	// hot path never formats strings.
+	nodePoints []string
 
 	mu      sync.RWMutex
 	slots   []*node // fixed MaxNodes slots; nil = empty
@@ -224,11 +271,16 @@ func New(factory func() (*serve.Server, error), cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		factory: factory,
 		faults:  cfg.Faults,
+		budget:  newRetryBudget(cfg.RetryBudgetFrac, cfg.RetryBudgetMin, cfg.RetryBudgetWindow),
 		slots:   make([]*node, cfg.MaxNodes),
 		ctlStop: make(chan struct{}),
 	}
 	if c.faults == nil {
 		c.faults = fault.Default
+	}
+	c.nodePoints = make([]string, cfg.MaxNodes)
+	for i := range c.nodePoints {
+		c.nodePoints[i] = "cluster.node.serve." + strconv.Itoa(i)
 	}
 	for i := 0; i < cfg.MinNodes; i++ {
 		if err := c.spawn(); err != nil {
@@ -307,7 +359,9 @@ func (c *Cluster) SubmitBatch(ctx context.Context, img *tensor.Tensor) ([]uint8,
 // per-node health view. key selects the consistent-hash position under
 // PolicyHash ("" falls back to least-loaded). A node that fails mid-burst
 // is ejected and the request redispatches to a healthy node, up to
-// MaxAttempts; a fleet with no admitting node sheds with ErrSaturated.
+// MaxAttempts (gated by the fleet retry budget); a fleet with no admitting
+// node sheds with ErrSaturated. Interactive requests with a deadline may
+// hedge onto a second node when HedgeFraction is set — see dispatch.
 func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier Tier) (Result, error) {
 	c.mu.RLock()
 	if c.closing {
@@ -320,15 +374,40 @@ func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier T
 
 	t0 := time.Now()
 	c.stats.submitted[tier].Add(1)
+	c.budget.noteRequest()
+	res, hedged, err := c.dispatch(ctx, img, key, tier)
+	res.Hedged = hedged
+	switch {
+	case err == nil:
+		c.stats.goodput[tier].Add(1)
+		c.mLatency[tier].Observe(time.Since(t0).Seconds())
+		return res, nil
+	case ctx.Err() != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		// The client's own deadline or disconnect, not a fleet refusal.
+		return Result{}, err
+	default:
+		c.stats.shed[tier].Add(1)
+		return Result{}, err
+	}
+}
+
+// dispatchOnce runs one dispatch leg: placement, tier admission, health
+// charging and budgeted failure redispatch, with no tier accounting (Do
+// does that exactly once however many legs ran). self, when non-nil, is
+// updated with the slot the leg is currently dispatched to; avoid, when
+// non-nil, names a leg whose current node is hard-excluded from placement
+// — that is how a hedge lands on a different node than its primary.
+func (c *Cluster) dispatchOnce(ctx context.Context, img *tensor.Tensor, key string, tier Tier, self, avoid *leg) (Result, error) {
 	skip := make(map[*node]bool)
 	// pickNode widens the search before giving up: once every node has
 	// been tried this dispatch, the skip set resets so redispatch may
 	// revisit a node (its queue may have drained, its probe may be due).
+	// The avoid leg's node survives every reset.
 	pickNode := func() (*node, bool) {
-		n, probe := c.pick(key, tier, skip)
+		n, probe := c.pick(key, tier, skip, avoid.slot())
 		if n == nil && len(skip) > 0 {
 			skip = make(map[*node]bool)
-			n, probe = c.pick(key, tier, skip)
+			n, probe = c.pick(key, tier, skip, avoid.slot())
 		}
 		return n, probe
 	}
@@ -362,7 +441,6 @@ func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier T
 			}
 			// Nothing admits this tier right now: shed. (For batch that can
 			// happen while interactive still flows — by design.)
-			c.stats.shed[tier].Add(1)
 			if lastErr != nil && !errors.Is(lastErr, serve.ErrQueueFull) && !errors.Is(lastErr, serve.ErrDraining) {
 				return Result{}, lastErr
 			}
@@ -376,6 +454,31 @@ func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier T
 				return Result{}, ctxErr
 			}
 			c.nodeFailure(n)
+			if !c.budget.allow() {
+				c.stats.retryDenied.Add(1)
+				return Result{}, err
+			}
+			c.stats.redispatched.Add(1)
+			skip[n] = true
+			lastErr = err
+			continue
+		}
+
+		if self != nil {
+			self.current.Store(int32(n.slot))
+		}
+		// Per-slot chaos seam: slow-node programs stall exactly one
+		// replica's dispatches here, the condition hedging exists for.
+		if err := c.faults.CheckCtx(ctx, c.nodePoints[n.slot]); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				n.releaseProbe()
+				return Result{}, ctxErr
+			}
+			c.nodeFailure(n)
+			if !c.budget.allow() {
+				c.stats.retryDenied.Add(1)
+				return Result{}, err
+			}
 			c.stats.redispatched.Add(1)
 			skip[n] = true
 			lastErr = err
@@ -386,8 +489,6 @@ func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier T
 		switch {
 		case err == nil:
 			n.recordSuccess()
-			c.stats.goodput[tier].Add(1)
-			c.mLatency[tier].Observe(time.Since(t0).Seconds())
 			return Result{Mask: mask, Occupancy: occ, Node: n.slot}, nil
 		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDraining):
 			// Saturated or mid-restart, not sick: route around it without
@@ -408,12 +509,15 @@ func (c *Cluster) Do(ctx context.Context, img *tensor.Tensor, key string, tier T
 			// node-level failure. Eject it if the streak says so and retry
 			// elsewhere.
 			c.nodeFailure(n)
+			if !c.budget.allow() {
+				c.stats.retryDenied.Add(1)
+				return Result{}, err
+			}
 			c.stats.redispatched.Add(1)
 			skip[n] = true
 			lastErr = err
 		}
 	}
-	c.stats.shed[tier].Add(1)
 	if lastErr != nil && !errors.Is(lastErr, serve.ErrQueueFull) && !errors.Is(lastErr, serve.ErrDraining) {
 		return Result{}, lastErr
 	}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seneca/internal/tensor"
+)
+
+// retryBudget is the fleet's SRE-style retry budget: per window, at most
+// max(Min, Frac × admitted requests) dispatches may be retried or hedged.
+// A healthy fleet never notices it; a sick fleet is protected from melting
+// itself with a retry storm, because once the budget is spent failures
+// surface instead of multiplying.
+type retryBudget struct {
+	frac   float64
+	min    int
+	window time.Duration
+
+	mu       sync.Mutex
+	start    time.Time
+	requests int
+	spent    int
+}
+
+func newRetryBudget(frac float64, min int, window time.Duration) *retryBudget {
+	return &retryBudget{frac: frac, min: min, window: window, start: time.Now()}
+}
+
+// roll resets the window once it has fully elapsed. Callers hold b.mu.
+func (b *retryBudget) roll(now time.Time) {
+	if now.Sub(b.start) >= b.window {
+		b.start = now
+		b.requests = 0
+		b.spent = 0
+	}
+}
+
+// noteRequest counts one admitted request into the current window.
+func (b *retryBudget) noteRequest() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.roll(time.Now())
+	b.requests++
+}
+
+// allow consumes one retry token if the window still has one.
+func (b *retryBudget) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.roll(time.Now())
+	limit := int(b.frac * float64(b.requests))
+	if limit < b.min {
+		limit = b.min
+	}
+	if b.spent >= limit {
+		return false
+	}
+	b.spent++
+	return true
+}
+
+// leg tracks one dispatch attempt's current position in the fleet, so the
+// hedge leg can hard-exclude the node the primary is (still) waiting on.
+type leg struct {
+	current atomic.Int32 // slot currently dispatched to; -1 when none
+}
+
+func newLeg() *leg {
+	l := &leg{}
+	l.current.Store(-1)
+	return l
+}
+
+func (l *leg) slot() int {
+	if l == nil {
+		return -1
+	}
+	return int(l.current.Load())
+}
+
+// hedgeDelay decides whether this request may hedge and after how long.
+// Hedging applies to interactive requests only (segmentation is
+// idempotent, but batch traffic is the preemptable class — doubling it
+// under pressure would defeat tier admission): past HedgeFraction of the
+// remaining deadline — or HedgeAfter for deadline-less requests — a second
+// dispatch launches on a different node.
+func (c *Cluster) hedgeDelay(ctx context.Context, tier Tier) (time.Duration, bool) {
+	if tier != TierInteractive || c.cfg.HedgeFraction <= 0 {
+		return 0, false
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return 0, false
+		}
+		return time.Duration(c.cfg.HedgeFraction * float64(rem)), true
+	}
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter, true
+	}
+	return 0, false
+}
+
+// legOut is one dispatch leg's terminal state.
+type legOut struct {
+	res Result
+	err error
+}
+
+// dispatch runs one request, hedged when eligible: the primary leg starts
+// immediately; if it is still out when the hedge threshold passes and the
+// retry budget admits one more dispatch, a hedge leg launches against a
+// different node. First success wins and the loser's context is cancelled
+// — its queued job is dropped by the serve tier's batcher before it can
+// consume board time. Both legs are always reaped before returning, so
+// Shutdown's in-flight accounting stays exact.
+func (c *Cluster) dispatch(ctx context.Context, img *tensor.Tensor, key string, tier Tier) (Result, bool, error) {
+	delay, eligible := c.hedgeDelay(ctx, tier)
+	if !eligible {
+		res, err := c.dispatchOnce(ctx, img, key, tier, nil, nil)
+		return res, false, err
+	}
+
+	primLeg := newLeg()
+	primCtx, primCancel := context.WithCancel(ctx)
+	defer primCancel()
+	primCh := make(chan legOut, 1)
+	go func() {
+		res, err := c.dispatchOnce(primCtx, img, key, tier, primLeg, nil)
+		primCh <- legOut{res: res, err: err}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case out := <-primCh:
+		return out.res, false, out.err
+	case <-timer.C:
+	}
+
+	// The primary has sat past the hedge threshold. One more dispatch, if
+	// the budget allows it; otherwise keep waiting on the primary.
+	if !c.budget.allow() {
+		c.stats.retryDenied.Add(1)
+		out := <-primCh
+		return out.res, false, out.err
+	}
+	c.stats.hedges.Add(1)
+	hedCtx, hedCancel := context.WithCancel(ctx)
+	defer hedCancel()
+	hedCh := make(chan legOut, 1)
+	go func() {
+		res, err := c.dispatchOnce(hedCtx, img, key, tier, nil, primLeg)
+		hedCh <- legOut{res: res, err: err}
+	}()
+
+	// First success wins; the loser is cancelled but always reaped. With
+	// two failures the primary's error is the request's error (the hedge
+	// usually just mirrors it against one fewer node).
+	var winner, primErr, hedErr *legOut
+	for primCh != nil || hedCh != nil {
+		select {
+		case out := <-primCh:
+			primCh = nil
+			if out.err == nil && winner == nil {
+				winner = &out
+				hedCancel()
+			} else if out.err != nil {
+				primErr = &out
+			}
+		case out := <-hedCh:
+			hedCh = nil
+			if out.err == nil && winner == nil {
+				winner = &out
+				c.stats.hedgeWins.Add(1)
+				primCancel()
+			} else if out.err != nil {
+				hedErr = &out
+			}
+		}
+	}
+	if winner != nil {
+		return winner.res, true, nil
+	}
+	if primErr != nil {
+		return Result{}, true, primErr.err
+	}
+	return Result{}, true, hedErr.err
+}

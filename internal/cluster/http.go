@@ -57,7 +57,13 @@ func (c *Cluster) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	res, err := c.Do(r.Context(), img, r.Header.Get("X-Seneca-Key"), tier)
+	ctx, cancel, ok := serve.ContextWithDeadlineHeader(r)
+	if !ok {
+		http.Error(w, fmt.Sprintf("cluster: bad %s header", serve.DeadlineHeader), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	res, err := c.Do(ctx, img, r.Header.Get("X-Seneca-Key"), tier)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrSaturated), errors.Is(err, serve.ErrQueueFull):
@@ -83,6 +89,9 @@ func (c *Cluster) handleSegment(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Seneca-Mask-Shape", fmt.Sprintf("%dx%d", c.inH, c.inW))
 	h.Set("X-Seneca-Batch", strconv.Itoa(res.Occupancy))
 	h.Set("X-Seneca-Node", strconv.Itoa(res.Node))
+	if res.Hedged {
+		h.Set(serve.HedgedHeader, "1")
+	}
 	w.Write(res.Mask)
 }
 

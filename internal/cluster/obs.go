@@ -82,6 +82,15 @@ func (c *Cluster) initMetrics(reg *obs.Registry) {
 	reg.CounterFunc("seneca_cluster_rolling_restarts_total",
 		"Nodes replaced by rolling restarts.",
 		c.stats.restarts.Load)
+	reg.CounterFunc("seneca_cluster_hedges_total",
+		"Hedge legs launched for interactive requests past their hedge threshold.",
+		c.stats.hedges.Load)
+	reg.CounterFunc("seneca_cluster_hedge_wins_total",
+		"Requests whose hedge leg answered before the primary.",
+		c.stats.hedgeWins.Load)
+	reg.CounterFunc("seneca_cluster_retry_budget_denied_total",
+		"Retries and hedges refused because the per-window retry budget was spent.",
+		c.stats.retryDenied.Load)
 
 	for _, tier := range []Tier{TierInteractive, TierBatch} {
 		c.mLatency[tier] = reg.Histogram("seneca_cluster_request_latency_seconds",

@@ -96,12 +96,14 @@ func hashKey(key string) uint64 {
 
 // pick chooses the node for one request: ring order for keyed requests
 // under PolicyHash, ascending load otherwise. skip holds nodes already
-// tried this dispatch. Batch-tier requests are only eligible for nodes
-// below the batch admission water mark — that is the preemption mechanism:
-// the top (1−BatchWaterFrac) of every queue is reserved for interactive
-// traffic, so batch always sheds first. The probe return marks an eject
-// probe claim (see node.routable).
-func (c *Cluster) pick(key string, tier Tier, skip map[*node]bool) (n *node, probe bool) {
+// tried this dispatch; avoid (-1 for none) is a hard slot exclusion that
+// survives skip resets — a hedge leg must never land on its primary's
+// node. Batch-tier requests are only eligible for nodes below the batch
+// admission water mark — that is the preemption mechanism: the top
+// (1−BatchWaterFrac) of every queue is reserved for interactive traffic,
+// so batch always sheds first. The probe return marks an eject probe claim
+// (see node.routable).
+func (c *Cluster) pick(key string, tier Tier, skip map[*node]bool, avoid int) (n *node, probe bool) {
 	c.mu.RLock()
 	nodes := make([]*node, 0, len(c.slots))
 	for _, nd := range c.slots {
@@ -136,7 +138,7 @@ func (c *Cluster) pick(key string, tier Tier, skip map[*node]bool) (n *node, pro
 
 	now := time.Now()
 	for _, nd := range order {
-		if skip[nd] {
+		if skip[nd] || nd.slot == avoid {
 			continue
 		}
 		if tier == TierBatch && nd.load() >= c.batchWater {

@@ -15,6 +15,10 @@ type clusterStats struct {
 	scaleUps     atomic.Uint64
 	scaleDowns   atomic.Uint64
 	restarts     atomic.Uint64 // nodes replaced by rolling restarts
+
+	hedges      atomic.Uint64 // hedge legs launched
+	hedgeWins   atomic.Uint64 // requests whose hedge leg answered first
+	retryDenied atomic.Uint64 // retries/hedges refused by the retry budget
 }
 
 // TierStats is one admission tier's request accounting.
@@ -63,6 +67,10 @@ type Stats struct {
 	ScaleUps     uint64 `json:"scale_ups"`
 	ScaleDowns   uint64 `json:"scale_downs"`
 	Restarts     uint64 `json:"rolling_restarts"`
+
+	Hedges      uint64 `json:"hedges"`
+	HedgeWins   uint64 `json:"hedge_wins"`
+	RetryDenied uint64 `json:"retry_budget_denied"`
 }
 
 // Stats snapshots the fleet. Concurrent mutation means the snapshot is
@@ -79,6 +87,9 @@ func (c *Cluster) Stats() Stats {
 		ScaleUps:     c.stats.scaleUps.Load(),
 		ScaleDowns:   c.stats.scaleDowns.Load(),
 		Restarts:     c.stats.restarts.Load(),
+		Hedges:       c.stats.hedges.Load(),
+		HedgeWins:    c.stats.hedgeWins.Load(),
+		RetryDenied:  c.stats.retryDenied.Load(),
 	}
 	for tier, dst := range []*TierStats{&st.Interactive, &st.Batch} {
 		dst.Submitted = c.stats.submitted[tier].Load()

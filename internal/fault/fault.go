@@ -55,6 +55,22 @@ type Fault struct {
 	// nil without a Delay injects ErrInjected (a Fault zero value would
 	// otherwise be a silent no-op).
 	Err error
+	// Slow programs a percentile-shaped latency tail instead of the flat
+	// Delay: each eligible hit draws a uniform rank and stalls for the
+	// Delay of the highest step whose quantile it reaches (a step
+	// function, like real slow-node tails: most requests unaffected, the
+	// tail stalls hard). Hits below the first step are unaffected and do
+	// not count as injections. {Q: 0.9, Delay: 250ms} means the slowest
+	// 10% of hits stall 250ms.
+	Slow []QuantileDelay
+}
+
+// QuantileDelay is one step of a percentile-shaped latency program.
+type QuantileDelay struct {
+	// Q is the quantile at which this step starts, in [0, 1).
+	Q float64
+	// Delay is the stall applied from Q up to the next step.
+	Delay time.Duration
 }
 
 // Error returns an error-fault program: inject err (nil → ErrInjected)
@@ -69,6 +85,13 @@ func Error(prob float64, err error) Fault {
 // Stall returns a latency-fault program: sleep d with the given per-hit
 // probability, then return no error.
 func Stall(prob float64, d time.Duration) Fault { return Fault{Prob: prob, Delay: d} }
+
+// SlowTail returns a slow-node program: the slowest (1-q) fraction of hits
+// stall for d, the rest pass untouched — the tail-latency shape hedging
+// and brownout exist to absorb.
+func SlowTail(q float64, d time.Duration) Fault {
+	return Fault{Slow: []QuantileDelay{{Q: q, Delay: d}}}
+}
 
 // point is one programmed injection point.
 type point struct {
@@ -122,6 +145,19 @@ func (r *Registry) Seed(seed int64) {
 func (r *Registry) Enable(name string, f Fault) {
 	if f.Prob <= 0 || f.Prob > 1 {
 		f.Prob = 1
+	}
+	if len(f.Slow) > 0 {
+		steps := append([]QuantileDelay(nil), f.Slow...)
+		for i := range steps {
+			if steps[i].Q < 0 {
+				steps[i].Q = 0
+			}
+			if steps[i].Q >= 1 {
+				steps[i].Q = 1 - 1e-9
+			}
+		}
+		sort.Slice(steps, func(i, j int) bool { return steps[i].Q < steps[j].Q })
+		f.Slow = steps
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -197,16 +233,32 @@ func (r *Registry) decide(name string) (delay time.Duration, err error, fire boo
 	if p.f.Prob < 1 && r.rng.Float64() >= p.f.Prob {
 		return 0, nil, false
 	}
+	delay = p.f.Delay
+	if len(p.f.Slow) > 0 {
+		// Draw a rank and take the highest step it reaches. A hit below
+		// the first step is unaffected — it is not an injection, so the
+		// fire count stays an exact census of the stalled hits.
+		u := r.rng.Float64()
+		delay = 0
+		for _, s := range p.f.Slow {
+			if u >= s.Q {
+				delay = s.Delay
+			}
+		}
+		if delay == 0 && p.f.Err == nil {
+			return 0, nil, false
+		}
+	}
 	p.fired++
 	p.counter.Inc()
 	err = p.f.Err
-	if err == nil && p.f.Delay == 0 {
+	if err == nil && delay == 0 {
 		err = ErrInjected
 	}
 	if err != nil {
 		err = fmt.Errorf("fault: point %s: %w", name, err)
 	}
-	return p.f.Delay, err, true
+	return delay, err, true
 }
 
 // CheckCtx consults the named injection point: it sleeps any programmed
@@ -273,8 +325,11 @@ func Active() []string { return Default.Active() }
 //	vart.run.error,p=0.1,count=20;vart.run.stall,p=0.05,delay=250ms
 //
 // Options: p=<float> probability, count=<n> fire budget, after=<n> skipped
-// hits, delay=<duration> stall latency, err[=<message>] inject an error
-// (implied when no delay is given).
+// hits, delay=<duration> stall latency, slow=<q>:<duration> one step of a
+// percentile-shaped latency tail (q is p50/p99/p999-style or a raw
+// fraction; repeat the option to stack steps:
+// slow=p50:20ms,slow=p99:400ms), err[=<message>] inject an error (implied
+// when no delay or slow program is given).
 func (r *Registry) Apply(spec string) error {
 	for _, entry := range strings.Split(spec, ";") {
 		entry = strings.TrimSpace(entry)
@@ -301,6 +356,10 @@ func (r *Registry) Apply(spec string) error {
 				f.After, err = strconv.Atoi(val)
 			case "delay":
 				f.Delay, err = time.ParseDuration(val)
+			case "slow":
+				var qd QuantileDelay
+				qd, err = parseSlowStep(val)
+				f.Slow = append(f.Slow, qd)
 			case "err":
 				wantErr = true
 				if val != "" {
@@ -316,12 +375,48 @@ func (r *Registry) Apply(spec string) error {
 		if wantErr && f.Err == nil {
 			f.Err = ErrInjected
 		}
-		if f.Delay > 0 && !wantErr {
+		if (f.Delay > 0 || len(f.Slow) > 0) && !wantErr {
 			f.Err = nil // pure stall unless an error was asked for
 		}
 		r.Enable(name, f)
 	}
 	return nil
+}
+
+// parseSlowStep parses one slow= option value: "<q>:<duration>" where q is
+// either pNN percentile shorthand (p50 → 0.5, p99 → 0.99, p999 → 0.999) or
+// a raw fraction in [0, 1).
+func parseSlowStep(val string) (QuantileDelay, error) {
+	qs, ds, ok := strings.Cut(val, ":")
+	if !ok {
+		return QuantileDelay{}, fmt.Errorf("want <quantile>:<duration>, got %q", val)
+	}
+	var q float64
+	if len(qs) > 1 && (qs[0] == 'p' || qs[0] == 'P') {
+		digits := qs[1:]
+		n, err := strconv.Atoi(digits)
+		if err != nil || n < 0 {
+			return QuantileDelay{}, fmt.Errorf("bad percentile %q", qs)
+		}
+		q = float64(n)
+		for range digits {
+			q /= 10
+		}
+	} else {
+		var err error
+		q, err = strconv.ParseFloat(qs, 64)
+		if err != nil {
+			return QuantileDelay{}, fmt.Errorf("bad quantile %q", qs)
+		}
+	}
+	if q < 0 || q >= 1 {
+		return QuantileDelay{}, fmt.Errorf("quantile %q outside [0, 1)", qs)
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil {
+		return QuantileDelay{}, fmt.Errorf("bad duration %q", ds)
+	}
+	return QuantileDelay{Q: q, Delay: d}, nil
 }
 
 // Apply programs the Default registry from a spec string.

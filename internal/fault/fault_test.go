@@ -198,3 +198,114 @@ func TestConcurrentCheckIsSafe(t *testing.T) {
 		t.Fatalf("implausible fire count %d of 1600", f)
 	}
 }
+
+func TestSlowTailCountsOnlyStalledHits(t *testing.T) {
+	r := NewRegistry(11, obs.NewRegistry())
+	r.Enable("p", SlowTail(0.8, 30*time.Millisecond))
+	slow := 0
+	for i := 0; i < 50; i++ {
+		start := time.Now()
+		if err := r.Check("p"); err != nil {
+			t.Fatalf("slow program injected an error: %v", err)
+		}
+		if time.Since(start) >= 15*time.Millisecond {
+			slow++
+		}
+	}
+	if slow == 0 || slow == 50 {
+		t.Fatalf("q=0.8 stalled %d of 50 hits", slow)
+	}
+	// The fire count must be an exact census of the stalled hits — that is
+	// what lets chaos tests reconcile hedge counters against injections.
+	if got := r.Injected("p"); got != slow {
+		t.Fatalf("Injected = %d, stalled hits = %d", got, slow)
+	}
+}
+
+func TestSlowStepsTakeHighestReached(t *testing.T) {
+	r := NewRegistry(3, obs.NewRegistry())
+	// A step at Q=0 catches every hit, so every hit fires; the second step
+	// upgrades the slowest half to a much longer stall.
+	r.Enable("p", Fault{Slow: []QuantileDelay{
+		{Q: 0.5, Delay: 40 * time.Millisecond}, // deliberately listed first
+		{Q: 0, Delay: 2 * time.Millisecond},
+	}})
+	const hits = 40
+	long := 0
+	for i := 0; i < hits; i++ {
+		start := time.Now()
+		if err := r.Check("p"); err != nil {
+			t.Fatalf("slow program injected an error: %v", err)
+		}
+		if time.Since(start) >= 25*time.Millisecond {
+			long++
+		}
+	}
+	if got := r.Injected("p"); got != hits {
+		t.Fatalf("Injected = %d, want every hit (%d) with a Q=0 step", got, hits)
+	}
+	if long == 0 || long == hits {
+		t.Fatalf("two-step program produced %d of %d long stalls", long, hits)
+	}
+}
+
+func TestSlowStallRespectsContext(t *testing.T) {
+	r := NewRegistry(1, obs.NewRegistry())
+	r.Enable("p", SlowTail(0, 10*time.Second)) // every hit stalls, hard
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := r.CheckCtx(ctx, "p"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled slow stall err = %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("ctx did not cut the slow stall short (%v)", d)
+	}
+}
+
+func TestApplySlowSpec(t *testing.T) {
+	r := NewRegistry(5, obs.NewRegistry())
+	err := r.Apply("node.a,slow=p50:1ms,slow=p999:80ms; node.b,slow=0.9:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow entries are pure latency programs: no injected error.
+	for i := 0; i < 20; i++ {
+		if err := r.Check("node.a"); err != nil {
+			t.Fatalf("slow spec injected an error: %v", err)
+		}
+	}
+	for _, bad := range []string{
+		"p,slow=42ms",      // missing quantile
+		"p,slow=p99",       // missing duration
+		"p,slow=1.5:10ms",  // quantile past 1
+		"p,slow=1:10ms",    // quantile must stay below 1
+		"p,slow=-0.1:10ms", // negative quantile
+		"p,slow=pxx:10ms",  // unparseable percentile
+		"p,slow=p99:fast",  // unparseable duration
+	} {
+		if err := r.Apply(bad); err == nil {
+			t.Fatalf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSlowDrawsAreSeededDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		r := NewRegistry(seed, obs.NewRegistry())
+		r.Enable("p", SlowTail(0.5, time.Millisecond))
+		out := make([]bool, 32)
+		for i := range out {
+			before := r.Injected("p")
+			r.Check("p")
+			out[i] = r.Injected("p") > before
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+}

@@ -330,6 +330,66 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 {
 	return out
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram's bucket state.
+// Two snapshots of the same histogram delimit a window: DeltaQuantiles over
+// the pair estimates quantiles of only the observations that landed between
+// them, which is what feedback controllers want (recent p99, not
+// since-boot p99).
+type HistogramSnapshot struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+}
+
+// Snapshot copies the current bucket counts. Like a scrape, the copy is
+// consistent per bucket, not across buckets, under concurrent Observe.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		bounds: h.bounds,
+		counts: make([]uint64, len(h.counts)),
+	}
+	var finite uint64
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+		finite += s.counts[i]
+	}
+	s.total = h.count.Load()
+	if finite > s.total {
+		s.total = finite
+	}
+	return s
+}
+
+// Count returns the total observations captured by the snapshot.
+func (s HistogramSnapshot) Count() uint64 { return s.total }
+
+// DeltaQuantiles estimates quantiles of the observations recorded between
+// prev and s (s must be the later snapshot of the same histogram; a
+// zero-value prev means "since the beginning"). With no observations in the
+// window every quantile is 0, so callers can treat an idle window
+// explicitly instead of acting on a stale tail.
+func (s HistogramSnapshot) DeltaQuantiles(prev HistogramSnapshot, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(s.bounds) == 0 {
+		return out
+	}
+	counts := make([]uint64, len(s.counts))
+	for i := range s.counts {
+		counts[i] = s.counts[i]
+		if i < len(prev.counts) && prev.counts[i] <= counts[i] {
+			counts[i] -= prev.counts[i]
+		}
+	}
+	total := s.total
+	if prev.total <= total {
+		total -= prev.total
+	}
+	for k, q := range qs {
+		out[k] = bucketQuantile(s.bounds, counts, total, q)
+	}
+	return out
+}
+
 // bucketQuantile is the interpolation core shared by Quantile/Quantiles:
 // given ascending finite bucket bounds, per-bucket (non-cumulative) counts
 // and the grand total (which may exceed the finite-bucket sum when values

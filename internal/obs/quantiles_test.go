@@ -88,3 +88,55 @@ func TestQuantilesDurations(t *testing.T) {
 		t.Errorf("p999 = %v, want ≥ 100ms", p999)
 	}
 }
+
+// TestDeltaQuantilesWindow exercises the brownout controller's call
+// pattern: snapshot, wait a tick, snapshot again, and read the tail of
+// only the window — old observations must not drag the estimate.
+func TestDeltaQuantilesWindow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", DefBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001) // a long fast history
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // the window turns slow
+	}
+	qs := h.Snapshot().DeltaQuantiles(prev, 0.5, 0.99)
+	if qs[0] < 0.1 {
+		t.Errorf("window p50 = %v, want ≥ 100ms — history leaked into the window", qs[0])
+	}
+	// The all-time quantile still reflects the fast history.
+	if all := h.Quantile(0.5); all > 0.01 {
+		t.Errorf("all-time p50 = %v, want ≤ 10ms", all)
+	}
+}
+
+func TestDeltaQuantilesIdleWindowIsZero(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", DefBuckets)
+	h.Observe(0.25)
+	prev := h.Snapshot()
+	qs := h.Snapshot().DeltaQuantiles(prev, 0.5, 0.99, 0.999)
+	for i, q := range qs {
+		if q != 0 {
+			t.Errorf("idle window quantile %d = %v, want 0", i, q)
+		}
+	}
+	if got := prev.Count(); got != 1 {
+		t.Errorf("snapshot Count = %d, want 1", got)
+	}
+}
+
+func TestDeltaQuantilesZeroPrevIsAllTime(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", DefBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	delta := h.Snapshot().DeltaQuantiles(HistogramSnapshot{}, 0.5)
+	all := h.Quantile(0.5)
+	if delta[0] != all {
+		t.Errorf("zero-prev delta p50 = %v, all-time = %v", delta[0], all)
+	}
+}

@@ -24,6 +24,13 @@ func (s *Server) batchLoop() {
 			return // queue closed and fully drained: Shutdown may finish
 		}
 		s.stats.depth.Add(-1)
+		// Formation-time liveness check: a job whose context died while it
+		// waited in the queue is dropped here, before it can anchor a batch
+		// or wait on a dispatch slot.
+		if err := j.ctx.Err(); err != nil {
+			s.expireJob(j, expireStageQueue, err)
+			continue
+		}
 		batch := []*job{j}
 		if s.cfg.MaxBatch > 1 {
 			timer := time.NewTimer(s.cfg.MaxDelay)
@@ -35,6 +42,10 @@ func (s *Server) batchLoop() {
 						break collect
 					}
 					s.stats.depth.Add(-1)
+					if err := j2.ctx.Err(); err != nil {
+						s.expireJob(j2, expireStageQueue, err)
+						continue
+					}
 					batch = append(batch, j2)
 				case <-timer.C:
 					break collect
@@ -69,8 +80,7 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 	live := make([]*job, 0, len(batch))
 	for _, j := range batch {
 		if err := j.ctx.Err(); err != nil {
-			s.stats.expired.Add(1)
-			j.done <- outcome{err: err}
+			s.expireJob(j, expireStageDispatch, err)
 			continue
 		}
 		live = append(live, j)
@@ -151,6 +161,31 @@ func (s *Server) dispatch(w *worker, batch []*job) {
 		j.done <- outcome{mask: out.masks[i], batch: len(live)}
 	}
 	s.stats.completed.Add(uint64(len(live)))
+}
+
+// Pipeline stages at which an admitted request's context can be found dead
+// (Stats.ExpiredQueue / ExpiredDispatch and the stage label on
+// seneca_serve_expired_total).
+const (
+	expireStageAdmission = "admission"
+	expireStageQueue     = "queue"
+	expireStageDispatch  = "dispatch"
+)
+
+// expireJob drops one admitted job whose context died before execution. The
+// delivered error wraps both ErrExpiredInQueue and the context error, so
+// clients can test either; the stage counter records where in the pipeline
+// the request died. The job never touches a backend, so it consumes no
+// simulated board time.
+func (s *Server) expireJob(j *job, stage string, cause error) {
+	s.stats.expired.Add(1)
+	switch stage {
+	case expireStageQueue:
+		s.stats.expiredQueue.Add(1)
+	case expireStageDispatch:
+		s.stats.expiredDispatch.Add(1)
+	}
+	j.done <- outcome{err: fmt.Errorf("%w (at %s): %w", ErrExpiredInQueue, stage, cause)}
 }
 
 // failOrRedispatch returns a failed batch's jobs to the admission queue so

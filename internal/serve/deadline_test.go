@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// lapses; the test fails with msg on timeout.
+func waitFor(t *testing.T, d time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmitRejectsCancelledAtAdmission(t *testing.T) {
+	s, _, _, imgs := newTestServer(t, Config{Threads: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client gave up before submitting
+	_, err := s.Submit(ctx, imgs[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	st := s.Stats()
+	if st.ExpiredAdmission != 1 || st.Expired != 1 {
+		t.Fatalf("ExpiredAdmission = %d, Expired = %d, want 1, 1", st.ExpiredAdmission, st.Expired)
+	}
+	// The dead request must never have been admitted: no queue slot was
+	// burned, no batch seat, no simulated board time.
+	if st.Accepted != 0 || st.Completed != 0 {
+		t.Fatalf("cancelled request was admitted: accepted=%d completed=%d", st.Accepted, st.Completed)
+	}
+}
+
+func TestExpireJobErrorUnwrapsBothWays(t *testing.T) {
+	s, _, _, _ := newTestServer(t, Config{Threads: 1})
+	j := &job{done: make(chan outcome, 1)}
+	s.expireJob(j, expireStageQueue, context.DeadlineExceeded)
+	out := <-j.done
+	if !errors.Is(out.err, ErrExpiredInQueue) {
+		t.Fatalf("err = %v, want ErrExpiredInQueue", out.err)
+	}
+	if !errors.Is(out.err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, must also unwrap to the context cause", out.err)
+	}
+	if !strings.Contains(out.err.Error(), "queue") {
+		t.Fatalf("err = %v, want the stage named", out.err)
+	}
+	if got := s.Stats().ExpiredQueue; got != 1 {
+		t.Fatalf("ExpiredQueue = %d, want 1", got)
+	}
+}
+
+// TestCancellationFreesQueueCapacity is the disconnect-mid-queue satellite:
+// requests cancelled while queued must never dispatch, and their slots must
+// be reusable. Asserted through /statz, the way an operator would.
+func TestCancellationFreesQueueCapacity(t *testing.T) {
+	// One runner, one slot, 1-job batches; SimPace holds the dispatch slot
+	// for each batch's paced board time (~50ms at ×20), so queued work
+	// sits still while the test cancels it.
+	s, _, _, imgs := newTestServer(t, Config{
+		Runners: 1, Pipeline: 1, Threads: 1, MaxBatch: 1,
+		MaxDelay: time.Millisecond, QueueDepth: 4, SimPace: 20,
+	})
+	web := httptest.NewServer(s.Handler())
+	defer web.Close()
+	statz := func() Stats {
+		t.Helper()
+		resp, err := http.Get(web.URL + "/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// A blocker occupies the only dispatch slot.
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), imgs[0])
+		blocked <- err
+	}()
+	waitFor(t, 5*time.Second, "blocker never started executing", func() bool {
+		return s.InFlightBatches() >= 1
+	})
+
+	// Fill the queue with cancellable requests. batchLoop may pull one into
+	// a formed batch parked at the slot semaphore, so "all parked" means
+	// queue depth + formed = victims.
+	const victims = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, victims)
+	for i := 0; i < victims; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(ctx, imgs[i%len(imgs)])
+		}(i)
+	}
+	waitFor(t, 5*time.Second, "victims never filled the queue", func() bool {
+		return statz().Accepted == victims+1
+	})
+
+	// Every client disconnects at once.
+	cancel()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrExpiredInQueue) {
+			t.Fatalf("victim %d: err = %v", i, err)
+		}
+	}
+
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocker failed: %v", err)
+	}
+	// The board drains: victims are dropped at batch formation or at
+	// dispatch, never executed.
+	waitFor(t, 5*time.Second, "cancelled jobs never drained from the queue", func() bool {
+		st := statz()
+		return st.QueueDepth == 0 && st.ExpiredQueue+st.ExpiredDispatch == victims
+	})
+	st := statz()
+	if st.Completed != 1 {
+		t.Fatalf("Completed = %d, want only the blocker", st.Completed)
+	}
+	var frames uint64
+	for _, b := range st.Backends {
+		frames += b.Frames
+	}
+	if frames != st.Completed {
+		t.Fatalf("backends simulated %d frames for %d completions — a cancelled request reached a backend", frames, st.Completed)
+	}
+
+	// The freed capacity is immediately reusable.
+	if _, err := s.Submit(context.Background(), imgs[1]); err != nil {
+		t.Fatalf("queue slot not reusable after cancellations: %v", err)
+	}
+	if got := statz().Completed; got != 2 {
+		t.Fatalf("Completed = %d after reuse, want 2", got)
+	}
+}
+
+// TestExpiredNeverReachesBackend drives an overload where most deadlines
+// lapse in the queue and proves, via the frame accounting, that expired
+// requests consume zero simulated board time.
+func TestExpiredNeverReachesBackend(t *testing.T) {
+	s, _, _, imgs := newTestServer(t, Config{
+		Runners: 1, Pipeline: 1, Threads: 1, MaxBatch: 2,
+		MaxDelay: time.Millisecond, QueueDepth: 32, SimPace: 20,
+	})
+	const n = 24
+	var wg sync.WaitGroup
+	var expired, completed, rejected int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// ~50ms per paced batch at SimPace 20: a 150ms budget serves
+			// the first couple of batches and strands the rest in the queue.
+			ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+			defer cancel()
+			_, err := s.Submit(ctx, imgs[i%len(imgs)])
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+			case errors.Is(err, ErrQueueFull):
+				rejected++
+			case errors.Is(err, context.DeadlineExceeded):
+				expired++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if expired == 0 {
+		t.Fatal("no request expired under a 150ms budget and ~50ms/batch pacing")
+	}
+	if completed == 0 {
+		t.Fatal("every request expired — the server did no work at all")
+	}
+
+	// Wait for the batcher to finish reaping the stragglers whose clients
+	// already returned.
+	waitFor(t, 10*time.Second, "queue never drained", func() bool {
+		st := s.Stats()
+		return st.QueueDepth == 0 && st.InFlight == 0 &&
+			st.Completed+st.Expired+st.Rejected+st.Failed >= n
+	})
+	st := s.Stats()
+	var frames uint64
+	for _, b := range st.Backends {
+		frames += b.Frames
+	}
+	if frames != st.Completed {
+		t.Fatalf("backends simulated %d frames but only %d requests completed — expired work reached the board", frames, st.Completed)
+	}
+	if st.Expired != st.ExpiredAdmission+st.ExpiredQueue+st.ExpiredDispatch {
+		t.Fatalf("stage counters %d+%d+%d do not sum to Expired=%d",
+			st.ExpiredAdmission, st.ExpiredQueue, st.ExpiredDispatch, st.Expired)
+	}
+	// The obs mirror of the stage counters must agree.
+	if s.Metrics() != nil {
+		text := s.Metrics().Expose()
+		if !strings.Contains(text, `seneca_serve_expired_total`) {
+			t.Fatalf("metrics missing seneca_serve_expired_total:\n%s", text)
+		}
+	}
+}
+
+func TestDeadlineHeaderPropagates(t *testing.T) {
+	s, _, _, imgs := newTestServer(t, Config{
+		Runners: 1, Pipeline: 1, Threads: 1, MaxBatch: 1,
+		MaxDelay: time.Millisecond, QueueDepth: 8, SimPace: 20,
+	})
+	web := httptest.NewServer(s.Handler())
+	defer web.Close()
+	body := EncodeInput(imgs[0].Data)
+	post := func(deadline string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, web.URL+"/v1/segment", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if deadline != "" {
+			req.Header.Set(DeadlineHeader, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, status := drainResponse(resp)
+		return status
+	}
+
+	if got := post("nope"); got != http.StatusBadRequest {
+		t.Fatalf("malformed deadline header got HTTP %d, want 400", got)
+	}
+	if got := post("-5"); got != http.StatusBadRequest {
+		t.Fatalf("non-positive deadline header got HTTP %d, want 400", got)
+	}
+	if got := post("30000"); got != http.StatusOK {
+		t.Fatalf("generous deadline got HTTP %d, want 200", got)
+	}
+	// Occupy the slot, then send a budget far below one paced batch: the
+	// deadline must lapse server-side and come back 504. The blocker posts
+	// raw (no test helper — t.Fatal is off-limits off the test goroutine).
+	go func() {
+		resp, err := http.Post(web.URL+"/v1/segment", "application/octet-stream", strings.NewReader(string(body)))
+		if err == nil {
+			drainResponse(resp)
+		}
+	}()
+	waitFor(t, 5*time.Second, "blocker never started", func() bool {
+		return s.InFlightBatches() >= 1
+	})
+	if got := post("1"); got != http.StatusGatewayTimeout {
+		t.Fatalf("1ms deadline under load got HTTP %d, want 504", got)
+	}
+	waitFor(t, 5*time.Second, "expiry counters never moved", func() bool {
+		st := s.Stats()
+		return st.Expired >= 1
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"time"
 
 	"seneca/internal/nifti"
 	"seneca/internal/tensor"
@@ -19,6 +20,39 @@ import (
 // maxBodyBytes caps request bodies (a 512×512 float32 slice is 1 MiB; a
 // whole NIfTI volume can be much larger).
 const maxBodyBytes = 256 << 20
+
+// DeadlineHeader is the request header carrying the client's end-to-end
+// latency budget in milliseconds. The serving tier turns it into a context
+// deadline at the front door, so it propagates through admission, batching
+// and dispatch — and, at the cluster tier, into hedging decisions.
+const DeadlineHeader = "X-Seneca-Deadline-Ms"
+
+// ServedVariantHeader names the model variant that actually produced a
+// response. On a VariantFront it can be a cheaper brownout rung than the
+// X-Seneca-Variant the request nominally routed to.
+const ServedVariantHeader = "X-Seneca-Served-Variant"
+
+// HedgedHeader is set ("1") on cluster responses whose request launched a
+// cross-node hedge leg before completing.
+const HedgedHeader = "X-Seneca-Hedged"
+
+// ContextWithDeadlineHeader derives the request-handling context from the
+// X-Seneca-Deadline-Ms header: absent means r.Context() unchanged, a
+// positive integer arms a deadline that many milliseconds out. The returned
+// cancel must always be called. A malformed or non-positive value is a
+// client error (ok=false → respond 400).
+func ContextWithDeadlineHeader(r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return r.Context(), func() {}, true
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, false
+	}
+	ctx, cancel = context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, true
+}
 
 // Handler returns the HTTP surface of the server:
 //
@@ -57,7 +91,13 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	mask, occupancy, err := s.submit(r.Context(), img)
+	ctx, cancel, ok := ContextWithDeadlineHeader(r)
+	if !ok {
+		http.Error(w, fmt.Sprintf("serve: bad %s header", DeadlineHeader), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	mask, occupancy, err := s.submit(ctx, img)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):

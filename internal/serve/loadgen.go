@@ -195,6 +195,10 @@ type OpenLoopConfig struct {
 	// Tier is sent as the X-Seneca-Tier header ("interactive" or "batch");
 	// empty omits the header (servers default to interactive).
 	Tier string
+	// Deadline, when positive, is sent as the X-Seneca-Deadline-Ms header
+	// so the target arms a per-request context deadline. Requests that
+	// come back 504 count as Expired, not Errors.
+	Deadline time.Duration
 	// Timeout is the per-request client timeout. Default 30s.
 	Timeout time.Duration
 }
@@ -232,12 +236,20 @@ type OpenLoopReport struct {
 	Offered   int `json:"offered"`   // arrivals generated
 	Completed int `json:"completed"` // HTTP 200
 	Shed      int `json:"shed"`      // HTTP 429 or 503 (load shedding)
+	Expired   int `json:"expired"`   // HTTP 504 (deadline lapsed server-side)
 	Errors    int `json:"errors"`    // transport errors and other statuses
 
 	Goodput  float64 `json:"goodput"`   // completed responses per wall second
 	ShedRate float64 `json:"shed_rate"` // shed / offered
 
 	P50, P99, P999 time.Duration
+
+	// ByVariant counts completed responses by their X-Seneca-Served-Variant
+	// header — under brownout the cheaper rungs show up here. Empty when
+	// the target does not send the header (a plain Server or Cluster).
+	ByVariant map[string]int `json:"by_variant,omitempty"`
+	// Hedged counts completed responses carrying X-Seneca-Hedged.
+	Hedged int `json:"hedged"`
 }
 
 // RunOpenLoop drives a running server (or cluster front door) with
@@ -252,9 +264,11 @@ func RunOpenLoop(baseURL string, body []byte, contentType string, cfg OpenLoopCo
 	client := &http.Client{Timeout: cfg.Timeout}
 	hist := obs.NewRegistry().Histogram("loadgen_latency_seconds", "", obs.DefBuckets)
 
-	var completed, shed, errored atomic.Int64
+	var completed, shed, expired, hedged atomic.Int64
+	var errored atomic.Int64
 	var mu sync.Mutex
 	var firstErr error
+	byVariant := make(map[string]int)
 	record := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -283,19 +297,34 @@ func RunOpenLoop(baseURL string, body []byte, contentType string, cfg OpenLoopCo
 			if cfg.Tier != "" {
 				req.Header.Set("X-Seneca-Tier", cfg.Tier)
 			}
+			if cfg.Deadline > 0 {
+				req.Header.Set(DeadlineHeader, strconv.FormatInt(cfg.Deadline.Milliseconds(), 10))
+			}
 			resp, err := client.Do(req)
 			if err != nil {
 				errored.Add(1)
 				record(err)
 				return
 			}
+			variant := resp.Header.Get(ServedVariantHeader)
+			wasHedged := resp.Header.Get(HedgedHeader) != ""
 			_, status := drainResponse(resp)
 			switch status {
 			case http.StatusOK:
 				completed.Add(1)
 				hist.Observe(time.Since(t0).Seconds())
+				if wasHedged {
+					hedged.Add(1)
+				}
+				if variant != "" {
+					mu.Lock()
+					byVariant[variant]++
+					mu.Unlock()
+				}
 			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 				shed.Add(1)
+			case http.StatusGatewayTimeout:
+				expired.Add(1)
 			default:
 				errored.Add(1)
 				record(fmt.Errorf("serve: open-loop got HTTP %d", status))
@@ -312,7 +341,12 @@ func RunOpenLoop(baseURL string, body []byte, contentType string, cfg OpenLoopCo
 		Offered:   len(schedule),
 		Completed: int(completed.Load()),
 		Shed:      int(shed.Load()),
+		Expired:   int(expired.Load()),
 		Errors:    int(errored.Load()),
+		Hedged:    int(hedged.Load()),
+	}
+	if len(byVariant) > 0 {
+		rep.ByVariant = byVariant
 	}
 	if wall > 0 {
 		rep.Goodput = float64(rep.Completed) / wall.Seconds()
@@ -363,14 +397,39 @@ func arrivalSchedule(cfg OpenLoopConfig) []time.Duration {
 // FormatOpenLoop renders open-loop reports as the fixed-width table
 // seneca-loadgen and the cluster example print.
 func FormatOpenLoop(w io.Writer, reports []OpenLoopReport) {
-	fmt.Fprintf(w, "%-8s %8s %9s %9s %7s %7s %9s %10s %10s %10s\n",
-		"arrival", "rate/s", "offered", "goodput", "shed%", "errs", "p50", "p99", "p999", "wall")
+	fmt.Fprintf(w, "%-8s %8s %9s %9s %7s %7s %7s %9s %10s %10s %10s\n",
+		"arrival", "rate/s", "offered", "goodput", "shed%", "expired", "errs", "p50", "p99", "p999", "wall")
 	for _, r := range reports {
-		fmt.Fprintf(w, "%-8s %8.0f %9d %9.1f %6.1f%% %7d %9s %10s %10s %10s\n",
-			r.Arrival, r.Rate, r.Offered, r.Goodput, 100*r.ShedRate, r.Errors,
+		fmt.Fprintf(w, "%-8s %8.0f %9d %9.1f %6.1f%% %7d %7d %9s %10s %10s %10s\n",
+			r.Arrival, r.Rate, r.Offered, r.Goodput, 100*r.ShedRate, r.Expired, r.Errors,
 			r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
 			r.P999.Round(10*time.Microsecond), r.Duration.Round(time.Millisecond))
 	}
+}
+
+// FormatHedgeReport renders the per-variant service breakdown and hedged
+// fraction of an open-loop run (seneca-loadgen's -hedge-report output).
+// Both come from response headers, so the table reflects what clients
+// actually observed, not server-side counters.
+func FormatHedgeReport(w io.Writer, r OpenLoopReport) {
+	if r.Completed == 0 {
+		fmt.Fprintln(w, "no completed responses")
+		return
+	}
+	if len(r.ByVariant) > 0 {
+		names := make([]string, 0, len(r.ByVariant))
+		for name := range r.ByVariant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-24s %9s %7s\n", "served variant", "count", "share")
+		for _, name := range names {
+			n := r.ByVariant[name]
+			fmt.Fprintf(w, "%-24s %9d %6.1f%%\n", name, n, 100*float64(n)/float64(r.Completed))
+		}
+	}
+	fmt.Fprintf(w, "hedged: %d/%d completed (%.1f%%)\n",
+		r.Hedged, r.Completed, 100*float64(r.Hedged)/float64(r.Completed))
 }
 
 // FormatSweep renders a load sweep as the fixed-width table the serving

@@ -45,6 +45,20 @@ func (s *Server) initMetrics(reg *obs.Registry) {
 			"Requests by terminal outcome (accepted counts admissions).",
 			load, obs.L("outcome", outcome))
 	}
+	// Where in the pipeline expired requests died: admission (dead on
+	// arrival), queue (dropped at batch formation) or dispatch (dropped on
+	// the final pre-execution check). Together they prove expired requests
+	// never reach backend simulation.
+	stages := map[string]func() uint64{
+		expireStageAdmission: s.stats.expiredAdmission.Load,
+		expireStageQueue:     s.stats.expiredQueue.Load,
+		expireStageDispatch:  s.stats.expiredDispatch.Load,
+	}
+	for stage, load := range stages {
+		reg.CounterFunc("seneca_serve_expired_total",
+			"Requests whose context expired or was cancelled, by pipeline stage.",
+			load, obs.L("stage", stage))
+	}
 	reg.CounterFunc("seneca_serve_batches_total",
 		"Micro-batches dispatched to the runner pool.",
 		s.stats.batches.Load)

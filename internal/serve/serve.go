@@ -117,6 +117,10 @@ type Config struct {
 	// MaxBodyBytes caps HTTP request bodies; an over-cap upload is rejected
 	// with 413. Default 256 MiB.
 	MaxBodyBytes int64
+	// Brownout programs the quality-degradation controller. Only the
+	// VariantFront consumes it (a single-variant Server has no ladder to
+	// walk); nil disables brownout.
+	Brownout *BrownoutConfig
 	// Metrics is the observability registry the server reports into (and
 	// that GET /metrics serves). nil gives the server a private registry;
 	// pass obs.Default to merge the serving series with the pipeline
@@ -176,6 +180,13 @@ var (
 	// The batch is reclaimed and its jobs re-dispatched; clients only see
 	// this error once a job's redispatch budget is spent.
 	ErrStalled = errors.New("serve: runner stalled past the watchdog deadline")
+	// ErrExpiredInQueue reports that a request's context expired or was
+	// cancelled after admission but before execution — at batch formation
+	// or just before dispatch. The job is dropped without consuming any
+	// simulated board time. Errors carrying it also wrap the underlying
+	// context error, so errors.Is(err, context.DeadlineExceeded) and
+	// errors.Is(err, context.Canceled) both keep working.
+	ErrExpiredInQueue = errors.New("serve: request expired while queued")
 )
 
 // Server is the micro-batching inference service over one compiled
@@ -335,6 +346,14 @@ func (s *Server) submit(ctx context.Context, img *tensor.Tensor) ([]uint8, int, 
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
+	}
+	// A dead context is rejected at the door: admitting it would burn a
+	// queue slot (and possibly a batch seat) on a request whose client has
+	// already given up.
+	if err := ctx.Err(); err != nil {
+		s.stats.expired.Add(1)
+		s.stats.expiredAdmission.Add(1)
+		return nil, 0, err
 	}
 	j := &job{ctx: ctx, img: img, accepted: time.Now(), done: make(chan outcome, 1)}
 

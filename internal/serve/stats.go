@@ -22,9 +22,17 @@ type stats struct {
 	completed atomic.Uint64
 	expired   atomic.Uint64
 	failed    atomic.Uint64
-	batches   atomic.Uint64
-	frames    atomic.Uint64 // completed frames, i.e. summed batch occupancy
-	depth     atomic.Int64  // current queue depth
+
+	// Per-stage breakdown of expired: rejected with a dead context at
+	// admission, dropped at batch formation, dropped just before dispatch.
+	// They sum to expired, so the pipeline shows exactly where deadline
+	// misses die.
+	expiredAdmission atomic.Uint64
+	expiredQueue     atomic.Uint64
+	expiredDispatch  atomic.Uint64
+	batches          atomic.Uint64
+	frames           atomic.Uint64 // completed frames, i.e. summed batch occupancy
+	depth            atomic.Int64  // current queue depth
 
 	// Self-healing counters (see health.go): runners replaced after a
 	// breaker trip, half-open probe batches, jobs re-queued out of failed
@@ -167,6 +175,13 @@ type Stats struct {
 	Expired   uint64 `json:"expired"`
 	Failed    uint64 `json:"failed"`
 
+	// Per-stage expiry breakdown (sums to Expired): dead on arrival at
+	// admission, found dead at batch formation, found dead just before
+	// dispatch. None of these consumed simulated board time.
+	ExpiredAdmission uint64 `json:"expired_admission"`
+	ExpiredQueue     uint64 `json:"expired_queue"`
+	ExpiredDispatch  uint64 `json:"expired_dispatch"`
+
 	Batches   uint64  `json:"batches"`
 	MeanBatch float64 `json:"mean_batch_occupancy"`
 
@@ -208,6 +223,10 @@ func (s *Server) Stats() Stats {
 		Expired:    s.stats.expired.Load(),
 		Failed:     s.stats.failed.Load(),
 		Batches:    s.stats.batches.Load(),
+
+		ExpiredAdmission: s.stats.expiredAdmission.Load(),
+		ExpiredQueue:     s.stats.expiredQueue.Load(),
+		ExpiredDispatch:  s.stats.expiredDispatch.Load(),
 
 		Evictions:        s.stats.evictions.Load(),
 		Probes:           s.stats.probes.Load(),

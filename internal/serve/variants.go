@@ -70,6 +70,8 @@ type VariantFront struct {
 
 	reg       *obs.Registry
 	mRequests map[string]*obs.Counter
+
+	brown *brownout
 }
 
 // NewVariantFront builds one Server per provided variant and wires tier
@@ -101,6 +103,7 @@ func NewVariantFront(dev *dpu.Device, vp VariantProvider, tiers TierConfig, cfg 
 	// re-exports the cross-variant view instead.
 	serverCfg := cfg
 	serverCfg.Metrics = nil
+	serverCfg.Brownout = nil
 
 	f := &VariantFront{
 		dev:       dev,
@@ -133,6 +136,14 @@ func NewVariantFront(dev *dpu.Device, vp VariantProvider, tiers TierConfig, cfg 
 		f.servers[name] = s
 		f.mRequests[name] = reg.Counter("seneca_serve_variant_requests_total",
 			"Requests answered per model variant.", obs.L("variant", name))
+	}
+	if cfg.Brownout != nil {
+		bc := cfg.Brownout.withDefaults()
+		if err := bc.validate(vp); err != nil {
+			f.shutdownAll()
+			return nil, err
+		}
+		f.brown = newBrownout(f, bc)
 	}
 	return f, nil
 }
@@ -172,12 +183,14 @@ func (f *VariantFront) resolve(variant, tier string) (string, error) {
 }
 
 // Submit routes one in-process request by tier ("" means the default tier)
-// and returns the mask plus the variant that answered.
+// and returns the mask plus the variant that actually answered — under
+// brownout that may be a cheaper rung than the tier's nominal variant.
 func (f *VariantFront) Submit(ctx context.Context, tier string, img *tensor.Tensor) (mask []uint8, variant string, err error) {
 	name, err := f.resolve("", tier)
 	if err != nil {
 		return nil, "", err
 	}
+	name = f.served(name, false)
 	mask, err = f.servers[name].Submit(ctx, img)
 	if err == nil {
 		f.mRequests[name].Inc()
@@ -185,9 +198,12 @@ func (f *VariantFront) Submit(ctx context.Context, tier string, img *tensor.Tens
 	return mask, name, err
 }
 
-// Shutdown drains every per-variant server. The first error wins but every
-// server is asked to stop.
+// Shutdown stops the brownout controller and drains every per-variant
+// server. The first error wins but every server is asked to stop.
 func (f *VariantFront) Shutdown(ctx context.Context) error {
+	if f.brown != nil {
+		f.brown.close()
+	}
 	var first error
 	for _, name := range f.order {
 		if err := f.servers[name].Shutdown(ctx); err != nil && first == nil {
@@ -220,19 +236,27 @@ func (f *VariantFront) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	name, err := f.resolve(r.Header.Get("X-Seneca-Variant"), r.Header.Get("X-Seneca-Tier"))
+	pin := r.Header.Get("X-Seneca-Variant")
+	name, err := f.resolve(pin, r.Header.Get("X-Seneca-Tier"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	s := f.servers[name]
+	served := f.served(name, pin != "")
+	s := f.servers[served]
 	g := s.prog.Graph
 	img, status, err := DecodeSegmentRequest(w, r, g.InC, g.InH, g.InW, s.cfg.MaxBodyBytes)
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	mask, occupancy, err := s.submit(r.Context(), img)
+	ctx, cancel, ok := ContextWithDeadlineHeader(r)
+	if !ok {
+		http.Error(w, fmt.Sprintf("serve: bad %s header", DeadlineHeader), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	mask, occupancy, err := s.submit(ctx, img)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
@@ -253,12 +277,16 @@ func (f *VariantFront) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	f.mRequests[name].Inc()
+	f.mRequests[served].Inc()
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-Seneca-Mask-Shape", fmt.Sprintf("%dx%d", g.InH, g.InW))
 	h.Set("X-Seneca-Batch", strconv.Itoa(occupancy))
+	// X-Seneca-Variant is the nominally resolved variant; under brownout
+	// X-Seneca-Served-Variant names the (possibly cheaper) rung that
+	// actually computed the mask, so degradation is observable per request.
 	h.Set("X-Seneca-Variant", name)
+	h.Set(ServedVariantHeader, served)
 	w.Write(mask)
 }
 

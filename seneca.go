@@ -31,6 +31,7 @@ package seneca
 
 import (
 	"io"
+	"time"
 
 	"seneca/internal/backend"
 	"seneca/internal/cluster"
@@ -201,7 +202,23 @@ type (
 	// VariantFront serves a whole variant registry behind one HTTP
 	// surface: one micro-batching server per variant, tier-routed.
 	VariantFront = serve.VariantFront
+	// BrownoutConfig tunes the VariantFront's overload brownout
+	// controller: a degradation ladder of variant names plus the queue
+	// occupancy / p99 hysteresis that walks it.
+	BrownoutConfig = serve.BrownoutConfig
+	// QuantileDelay is one step of a percentile-shaped slow-node fault
+	// program ("slow=p99:500ms"): requests above quantile Q stall Delay.
+	QuantileDelay = fault.QuantileDelay
 )
+
+// ErrExpiredInQueue marks a request whose deadline lapsed while it waited
+// in the serving queue or at batch dispatch — it never reached a backend.
+// Unwraps to both this sentinel and the underlying context error.
+var ErrExpiredInQueue = serve.ErrExpiredInQueue
+
+// DeadlineHeader is the request header that propagates a client deadline
+// budget (milliseconds) into the serving tier: X-Seneca-Deadline-Ms.
+const DeadlineHeader = serve.DeadlineHeader
 
 // Cluster admission tiers.
 const (
@@ -421,3 +438,8 @@ func ResetFaults() { fault.Reset() }
 
 // FaultsInjected reports how many times a point has fired.
 func FaultsInjected(point string) int { return fault.Injected(point) }
+
+// SlowTailFault builds a latency fault that stalls the slowest (1−q)
+// fraction of hits at a point by d — "the p99 takes an extra 500ms" —
+// for percentile-shaped slow-node chaos programs.
+func SlowTailFault(q float64, d time.Duration) Fault { return fault.SlowTail(q, d) }
